@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series, so running ``pytest benchmarks/ --benchmark-only -s``
+produces a textual version of the whole evaluation section.  The printed
+blocks are also appended to ``benchmarks/results/latest.txt`` for inspection
+after a captured (non ``-s``) run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def report(title: str, body: str) -> None:
+    """Print a captioned block and append it to the results file."""
+    block = f"\n===== {title} =====\n{body}\n"
+    print(block)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "latest.txt", "a", encoding="utf-8") as fh:
+        fh.write(block)

@@ -1,0 +1,31 @@
+"""Figure 1 — block-block ghost-cell partitioning: how many processes access
+each file byte (edges shared by 2, corners by 4)."""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure1_ghost_overlap_counts
+from repro.bench.results import format_table
+
+from conftest import report
+
+
+def test_figure1_ghost_overlap_histogram(benchmark):
+    M = N = 256
+    Pr = Pc = 4
+    R = 4
+    hist = benchmark(figure1_ghost_overlap_counts, M, N, Pr, Pc, R)
+    # The Figure 1 structure: bytes accessed by 1, 2 and 4 processes.
+    assert set(hist) == {1, 2, 4}
+    assert sum(hist.values()) == M * N
+    rows = [
+        {
+            "accessed by k processes": str(k),
+            "bytes": str(v),
+            "fraction": f"{v / (M * N):.4f}",
+        }
+        for k, v in sorted(hist.items())
+    ]
+    report(
+        f"Figure 1: ghost-cell overlap histogram ({Pr}x{Pc} grid, {M}x{N} array, R={R})",
+        format_table(rows),
+    )

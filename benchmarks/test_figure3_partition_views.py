@@ -1,0 +1,25 @@
+"""Figure 3 — row-wise vs column-wise partitioning: per-rank file-view shape
+(contiguity, segment counts, extents)."""
+
+from __future__ import annotations
+
+from repro.bench.figures import figure3_partition_summary
+from repro.bench.results import format_table
+
+from conftest import report
+
+
+def test_figure3_partition_views(benchmark):
+    M, N, P, R = 512, 512, 4, 4
+    rows = benchmark(figure3_partition_summary, M, N, P, R)
+    row_wise = [r for r in rows if r["pattern"] == "row-wise"]
+    col_wise = [r for r in rows if r["pattern"] == "column-wise"]
+    # Row-wise views are single contiguous ranges; column-wise views are M
+    # scattered segments whose extent spans nearly the whole file.
+    assert all(r["contiguous"] == "yes" for r in row_wise)
+    assert all(r["contiguous"] == "no" for r in col_wise)
+    assert all(int(r["segments"]) == M for r in col_wise)
+    report(
+        f"Figure 3: partitioning file views ({M}x{N}, P={P}, R={R})",
+        format_table(rows),
+    )

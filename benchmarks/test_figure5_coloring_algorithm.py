@@ -1,0 +1,48 @@
+"""Figure 5 — the greedy graph-coloring algorithm: cost and colour counts on
+the overlap graphs arising from the paper's partitioning patterns."""
+
+from __future__ import annotations
+
+from repro.bench.results import format_table
+from repro.core.coloring import greedy_coloring, validate_coloring
+from repro.core.overlap import build_overlap_matrix
+from repro.core.regions import build_region_sets
+from repro.patterns.partition import block_block_views, column_wise_views
+
+from conftest import report
+
+
+def _overlap_matrix(views):
+    return build_overlap_matrix(build_region_sets(views))
+
+
+def test_figure5_greedy_coloring(benchmark):
+    cases = {
+        "column-wise P=16": _overlap_matrix(column_wise_views(8, 1024, 16, 4)),
+        "column-wise P=64": _overlap_matrix(column_wise_views(8, 4096, 64, 4)),
+        "block-block 4x4": _overlap_matrix(block_block_views(64, 64, 4, 4, 2)),
+        "block-block 8x8": _overlap_matrix(block_block_views(128, 128, 8, 8, 2)),
+    }
+
+    def color_all():
+        return {name: greedy_coloring(w) for name, w in cases.items()}
+
+    results = benchmark(color_all)
+    rows = []
+    for name, coloring in results.items():
+        w = cases[name]
+        assert validate_coloring(w, coloring)
+        rows.append(
+            {
+                "overlap graph": name,
+                "processes": str(w.nprocs),
+                "edges": str(len(w.edges())),
+                "max degree": str(w.max_degree()),
+                "colors (I/O steps)": str(coloring.num_colors),
+            }
+        )
+    # Column-wise graphs colour with 2; 2-D ghost graphs need at most 4.
+    assert results["column-wise P=16"].num_colors == 2
+    assert results["column-wise P=64"].num_colors == 2
+    assert results["block-block 8x8"].num_colors <= 4
+    report("Figure 5: greedy graph-coloring of overlap graphs", format_table(rows))

@@ -1,0 +1,32 @@
+"""Figure 6 — the column-wise overlap matrix W and its 2-colouring
+(even-ranked processes write first, odd-ranked processes second)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.figures import figure6_coloring_demo
+
+from conftest import report
+
+
+def test_figure6_column_wise_two_coloring(benchmark):
+    M, N, P, R = 64, 2048, 4, 4
+    demo = benchmark(figure6_coloring_demo, M, N, P, R)
+    W = demo["W"]
+    # The tridiagonal overlap matrix of Figure 6.
+    expected = np.zeros((P, P), dtype=np.int8)
+    for i in range(P - 1):
+        expected[i, i + 1] = expected[i + 1, i] = 1
+    assert np.array_equal(W, expected)
+    assert demo["num_colors"] == 2
+    assert demo["groups"][0] == [0, 2]
+    assert demo["groups"][1] == [1, 3]
+
+    lines = ["W = "]
+    for row in W:
+        lines.append("    " + " ".join(str(int(v)) for v in row))
+    lines.append(f"colors     = {demo['colors']}")
+    lines.append(f"step 0 (even ranks write): {demo['groups'][0]}")
+    lines.append(f"step 1 (odd ranks write):  {demo['groups'][1]}")
+    report(f"Figure 6: column-wise overlap matrix and 2-colouring (P={P})", "\n".join(lines))

@@ -1,0 +1,74 @@
+"""Figure 8 — the paper's main result: I/O bandwidth of the three MPI
+atomicity strategies for the column-wise partitioned concurrent write, on the
+three platforms, three array sizes and 4/8/16 processes.
+
+One benchmark per machine; each regenerates that machine's three panels
+(32 MB, 128 MB, 1 GB) and prints the bandwidth series.  Row counts are scaled
+down by ``DEFAULT_ROW_SCALE`` (the paper's 4096 rows -> 64) so the grid runs
+in seconds; per-row segment sizes and counts per process are unchanged, which
+is what drives the relative behaviour (see EXPERIMENTS.md).
+
+Expected qualitative agreement with the paper:
+* byte-range file locking has the lowest bandwidth at every point;
+* process-rank ordering is generally the best, graph-coloring in between;
+* the locking series is absent on Cplant/ENFS (no lock support).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure8_report
+from repro.bench.harness import DEFAULT_ROW_SCALE, run_figure8_grid
+from repro.bench.machines import machine_by_name
+from repro.bench.results import figure8_series
+
+from conftest import report
+
+ARRAY_LABELS = ["32MB", "128MB", "1GB"]
+PROCESS_COUNTS = [4, 8, 16]
+
+
+def _run_panel(machine_name: str):
+    return run_figure8_grid(
+        machines=[machine_name],
+        array_labels=ARRAY_LABELS,
+        process_counts=PROCESS_COUNTS,
+        row_scale=DEFAULT_ROW_SCALE,
+        verify=True,
+    )
+
+
+@pytest.mark.parametrize("machine_name", ["Cplant", "Origin 2000", "IBM SP"])
+def test_figure8_bandwidth(benchmark, machine_name):
+    machine = machine_by_name(machine_name)
+    table = benchmark.pedantic(_run_panel, args=(machine_name,), rounds=1, iterations=1)
+
+    # Every measured point kept MPI atomicity.
+    assert all(r.atomic_ok for r in table)
+
+    # Locking is reported only where the platform supports it.
+    strategies = {r.strategy for r in table}
+    if machine.supports_locking:
+        assert strategies == {"locking", "graph-coloring", "rank-ordering"}
+    else:
+        assert strategies == {"graph-coloring", "rank-ordering"}
+
+    for label in ARRAY_LABELS:
+        series = figure8_series(table, machine.name, label)
+        for nprocs in PROCESS_COUNTS:
+            def bw(strategy):
+                return dict(series[strategy])[nprocs]
+
+            if machine.supports_locking:
+                # The paper's headline result: locking is the worst strategy.
+                assert bw("locking") < bw("graph-coloring")
+                assert bw("locking") < bw("rank-ordering")
+            # Rank ordering is never significantly worse than graph coloring.
+            assert bw("rank-ordering") >= 0.8 * bw("graph-coloring")
+
+    report(
+        f"Figure 8 ({machine.name}, {machine.file_system}): bandwidth in MB/s "
+        f"(rows scaled by 1/{DEFAULT_ROW_SCALE})",
+        figure8_report(table),
+    )

@@ -1,0 +1,65 @@
+"""Section 3.4 — scalability analysis: the closed-form model's predictions
+(locked bytes, transferred volume, parallelism) versus the measured
+virtual-time behaviour."""
+
+from __future__ import annotations
+
+from repro.bench.harness import run_column_wise_experiment
+from repro.bench.results import format_table
+from repro.core.analysis import ColumnWiseCase, analyze_regions, estimate_column_wise
+from repro.core.regions import build_region_sets
+from repro.patterns.partition import column_wise_views
+
+from conftest import report
+
+M, N, P, R = 64, 32768, 8, 4
+
+
+def test_section34_analysis_vs_measurement(benchmark):
+    case = ColumnWiseCase(M=M, N=N, P=P, R=R)
+    estimates = estimate_column_wise(case)
+    regions = build_region_sets(column_wise_views(M, N, P, R))
+    measured_views = analyze_regions(regions)
+
+    def measure_all():
+        return {
+            s: run_column_wise_experiment("IBM SP", M, N, P, s, array_label="sec3.4")
+            for s in ("locking", "graph-coloring", "rank-ordering")
+        }
+
+    measured = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    # The analysis and the exact view computation agree on the volumes.
+    assert measured_views["overlapped_bytes"] == case.overlapped_bytes
+    assert measured_views["rank_ordering_bytes"] == case.file_bytes
+    # Locking locks nearly the whole file per process.
+    assert case.locked_bytes_per_process > 0.95 * case.file_bytes
+    # The model's ordering is reproduced by the measurement.
+    assert (
+        measured["locking"].bandwidth_mb_per_s
+        < measured["graph-coloring"].bandwidth_mb_per_s
+    )
+    assert (
+        measured["locking"].bandwidth_mb_per_s
+        < measured["rank-ordering"].bandwidth_mb_per_s
+    )
+
+    rows = []
+    for name in ("locking", "graph-coloring", "rank-ordering"):
+        est = estimates[name]
+        rec = measured[name]
+        rows.append(
+            {
+                "strategy": name,
+                "predicted bytes moved": str(est.bytes_transferred),
+                "measured bytes moved": str(rec.bytes_written),
+                "predicted parallel steps": str(est.parallel_steps),
+                "measured phases": str(rec.phases),
+                "locked bytes/process": str(est.locked_bytes),
+                "measured BW (MB/s)": f"{rec.bandwidth_mb_per_s:.1f}",
+            }
+        )
+    report(
+        f"Section 3.4: analysis vs measurement ({M}x{N}, P={P}, R={R}, GPFS)",
+        format_table(rows),
+    )

@@ -1,0 +1,17 @@
+"""Table 1 — system configurations of the three experimental platforms."""
+
+from __future__ import annotations
+
+from repro.bench.machines import table1_rows
+from repro.bench.results import format_table
+
+from conftest import report
+
+
+def test_table1_system_configurations(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 3
+    report(
+        "Table 1: System configurations",
+        format_table(rows),
+    )

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Ghost-cell check-pointing — the Figure 1 workload end to end.
+
+A 2-D stencil-style application partitions a global array block-block over a
+3x3 process grid with a halo of ghost cells.  Every checkpoint writes each
+rank's whole ghosted block to a shared file, so edges overlap between two
+ranks and corners between four.  The example runs several checkpoint rounds
+under the graph-coloring strategy (which needs more than two colours here),
+verifies MPI atomicity after every round, and reports the coloring and the
+overlap structure.
+
+Run with:  python examples/ghost_cell_checkpoint.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ParallelFileSystem, gpfs_config
+from repro.core.coloring import greedy_coloring
+from repro.core.executor import AtomicWriteExecutor
+from repro.core.overlap import build_overlap_matrix, overlapped_bytes_total
+from repro.core.regions import build_region_sets
+from repro.core.strategies import GraphColoringStrategy, RankOrderingStrategy
+from repro.patterns.ghost import GhostDecomposition
+from repro.verify import check_coverage, check_mpi_atomicity
+
+M, N = 384, 384            # global array
+PR, PC = 3, 3              # process grid
+GHOST = 4                  # overlapped cells between neighbouring blocks
+ROUNDS = 3
+KB = 1024
+
+
+def main() -> None:
+    nprocs = PR * PC
+    decomps = [
+        GhostDecomposition(M=M, N=N, Pr=PR, Pc=PC, rank=r, ghost_width=GHOST)
+        for r in range(nprocs)
+    ]
+    views = [d.file_segments() for d in decomps]
+    regions = build_region_sets(views)
+
+    # --- describe the overlap structure (Figure 1) -------------------------
+    overlap = build_overlap_matrix(regions)
+    coloring = greedy_coloring(overlap)
+    print(f"Ghost-cell checkpoint: {M}x{N} array on a {PR}x{PC} process grid, "
+          f"ghost width {GHOST}")
+    print(f"Overlapping neighbour pairs : {len(overlap.edges())}")
+    print(f"Bytes written by >1 process : {overlapped_bytes_total(regions) / KB:.1f} KB")
+    print(f"Greedy coloring             : {coloring.num_colors} I/O phases, "
+          f"colors by rank = {list(coloring.colors)}")
+    centre = decomps[4]
+    print(f"Rank 4 (centre) neighbours  : {centre.neighbors()}\n")
+
+    # --- run checkpoint rounds under two strategies -------------------------
+    for strategy in (GraphColoringStrategy(), RankOrderingStrategy()):
+        fs = ParallelFileSystem(gpfs_config())
+        executor = AtomicWriteExecutor(fs, strategy, filename="ghost_ckpt.dat")
+
+        def data_factory(rank: int, nbytes: int, _round=[0]) -> bytes:
+            # A rank- and position-dependent payload, as a real stencil update
+            # would produce.
+            local = decomps[rank].make_local_array(dtype=np.uint8, fill_with_rank=True)
+            return local.tobytes()[:nbytes]
+
+        print(f"strategy: {strategy.name}")
+        for round_no in range(ROUNDS):
+            result = executor.run(nprocs, lambda rank, _P: views[rank], data_factory)
+            atomic = check_mpi_atomicity(result.file.store, result.regions)
+            complete = check_coverage(result.file.store, result.regions)
+            print(
+                f"  checkpoint {round_no}: atomic={'yes' if atomic.ok else 'NO'} "
+                f"complete={'yes' if complete.ok else 'NO'} "
+                f"written={result.total_bytes_written / KB:8.1f} KB "
+                f"virtual time={result.makespan:.4f} s"
+            )
+        print()
+
+    print("Corner ghost regions are accessed by four processes concurrently; "
+          "both handshaking strategies keep every overlapped region single-owner.")
+
+
+if __name__ == "__main__":
+    main()

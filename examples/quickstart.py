@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: a concurrent overlapping write made MPI-atomic.
+
+Four simulated MPI processes write a column-wise partitioned 2-D array to a
+shared file on a GPFS-like parallel file system.  Neighbouring processes'
+file views overlap by a few ghost columns, so without coordination the
+overlapped columns could end up interleaved (the problem of Liao et al.,
+ICPP 2003).  We run the write under each of the paper's three atomicity
+strategies, verify the MPI atomic-mode guarantee from the per-byte
+provenance the simulator records, and compare the virtual-time bandwidth.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AtomicWriteExecutor,
+    ParallelFileSystem,
+    check_coverage,
+    check_mpi_atomicity,
+    column_wise_views,
+    gpfs_config,
+    strategy_by_name,
+)
+
+# Workload: a 256 x 8192 byte array, partitioned column-wise over 4 processes
+# with 8 overlapped (ghost) columns between neighbours.
+M, N, P, R = 256, 8192, 4, 8
+MB = 1024 * 1024
+
+
+def main() -> None:
+    views = column_wise_views(M, N, P, R)
+    total_requested = sum(sum(length for _, length in v) for v in views)
+    print(f"Workload: {M}x{N} array, {P} processes, {R} overlapped columns")
+    print(f"File size {M * N / MB:.1f} MB, requested volume {total_requested / MB:.1f} MB\n")
+
+    print(f"{'strategy':18s} {'atomic':>7s} {'complete':>9s} {'MB written':>11s} "
+          f"{'time (s)':>9s} {'BW (MB/s)':>10s}")
+    for name in ("locking", "graph-coloring", "rank-ordering"):
+        fs = ParallelFileSystem(gpfs_config())
+        executor = AtomicWriteExecutor(fs, strategy_by_name(name), filename="checkpoint.dat")
+        result = executor.run(P, lambda rank, _P: views[rank])
+
+        atomic = check_mpi_atomicity(result.file.store, result.regions)
+        complete = check_coverage(result.file.store, result.regions)
+        print(
+            f"{name:18s} {'yes' if atomic.ok else 'NO':>7s} "
+            f"{'yes' if complete.ok else 'NO':>9s} "
+            f"{result.total_bytes_written / MB:>11.1f} "
+            f"{result.makespan:>9.4f} "
+            f"{result.bandwidth() / MB:>10.1f}"
+        )
+
+    print(
+        "\nAll three strategies produce an MPI-atomic file; byte-range locking "
+        "serialises the writes and is the slowest, process-rank ordering writes "
+        "the least data fully in parallel and is the fastest."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists only
+so that legacy editable installs (``pip install -e . --no-use-pep517`` on
+environments without the ``wheel`` package, e.g. fully offline machines)
+keep working.
+"""
+
+from setuptools import setup
+
+setup()

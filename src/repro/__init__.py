@@ -1,0 +1,122 @@
+"""repro — Scalable Implementations of MPI Atomicity for Concurrent Overlapping I/O.
+
+A complete Python reproduction of Liao et al., ICPP 2003: the three MPI
+atomicity strategies (byte-range file locking, graph-coloring handshaking and
+process-rank ordering) plus every substrate they need — an MPI runtime
+simulator, a derived-datatype engine, an MPI-IO layer, and a parallel file
+system with caching, striping, central and distributed byte-range locking and
+a virtual-time performance model.
+
+Typical use::
+
+    from repro import (
+        ParallelFileSystem, xfs_config, AtomicWriteExecutor,
+        RankOrderingStrategy, column_wise_views, check_mpi_atomicity,
+    )
+
+    fs = ParallelFileSystem(xfs_config())
+    views = column_wise_views(M=64, N=1024, P=4, R=4)
+    executor = AtomicWriteExecutor(fs, RankOrderingStrategy(), "ckpt.dat")
+    result = executor.run(4, lambda rank, P: views[rank])
+    report = check_mpi_atomicity(result.file.store, result.regions)
+    assert report.ok
+"""
+
+from .core import (
+    AtomicityStrategy,
+    AtomicWriteExecutor,
+    ColumnWiseCase,
+    ConcurrentWriteResult,
+    FileRegionSet,
+    GraphColoringStrategy,
+    Interval,
+    IntervalSet,
+    LockingStrategy,
+    NoAtomicityStrategy,
+    OverlapMatrix,
+    RankOrderingStrategy,
+    STRATEGY_NAMES,
+    WriteOutcome,
+    build_overlap_matrix,
+    estimate_column_wise,
+    greedy_coloring,
+    resolve_by_rank,
+    strategy_by_name,
+)
+from .fs import (
+    FSClient,
+    FSConfig,
+    LockProtocol,
+    ParallelFileSystem,
+    enfs_config,
+    gpfs_config,
+    preset,
+    xfs_config,
+)
+from .io import MPIFile, Info, MODE_CREATE, MODE_RDWR, MODE_WRONLY
+from .mpi import Communicator, run_spmd
+from .patterns import (
+    ColumnWiseWorkload,
+    GhostDecomposition,
+    block_block_views,
+    column_wise_views,
+    row_wise_views,
+)
+from .verify import check_coverage, check_mpi_atomicity
+from .bench import run_column_wise_experiment, run_figure8_grid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AtomicityStrategy",
+    "NoAtomicityStrategy",
+    "LockingStrategy",
+    "GraphColoringStrategy",
+    "RankOrderingStrategy",
+    "strategy_by_name",
+    "STRATEGY_NAMES",
+    "AtomicWriteExecutor",
+    "ConcurrentWriteResult",
+    "WriteOutcome",
+    "FileRegionSet",
+    "Interval",
+    "IntervalSet",
+    "OverlapMatrix",
+    "build_overlap_matrix",
+    "greedy_coloring",
+    "resolve_by_rank",
+    "ColumnWiseCase",
+    "estimate_column_wise",
+    # fs
+    "ParallelFileSystem",
+    "FSConfig",
+    "LockProtocol",
+    "FSClient",
+    "enfs_config",
+    "xfs_config",
+    "gpfs_config",
+    "preset",
+    # io
+    "MPIFile",
+    "Info",
+    "MODE_CREATE",
+    "MODE_RDWR",
+    "MODE_WRONLY",
+    # mpi
+    "Communicator",
+    "run_spmd",
+    # patterns
+    "column_wise_views",
+    "row_wise_views",
+    "block_block_views",
+    "GhostDecomposition",
+    "ColumnWiseWorkload",
+    # verify
+    "check_mpi_atomicity",
+    "check_coverage",
+    # bench
+    "run_column_wise_experiment",
+    "run_figure8_grid",
+]

@@ -1,0 +1,122 @@
+"""Regeneration of the paper's figures as data/text.
+
+The library has no plotting dependency; each ``figure*`` function returns the
+underlying data series plus an ASCII rendering that the benchmark suite
+prints, so the shape of every figure can be inspected from the benchmark
+output (and EXPERIMENTS.md records a captured copy).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coloring import greedy_coloring
+from ..core.overlap import build_overlap_matrix
+from ..core.rank_ordering import resolve_by_rank
+from ..core.regions import FileRegionSet, build_region_sets
+from ..patterns.partition import block_block_views, column_wise_views, row_wise_views
+from .results import ResultTable, figure8_series, format_table
+
+__all__ = [
+    "figure1_ghost_overlap_counts",
+    "figure3_partition_summary",
+    "figure6_coloring_demo",
+    "figure7_rank_ordering_views",
+    "figure8_report",
+]
+
+
+def figure1_ghost_overlap_counts(M: int, N: int, Pr: int, Pc: int, R: int) -> Dict[int, int]:
+    """Figure 1: how many file bytes are accessed by exactly k processes.
+
+    Returns a histogram ``{k: bytes}``; with a block-block ghost partitioning
+    the interior edge regions are shared by 2 processes and the corner ghost
+    regions by 4, which is precisely the situation Figure 1 illustrates.
+    """
+    views = block_block_views(M, N, Pr, Pc, R)
+    counts = np.zeros(M * N, dtype=np.int16)
+    for segs in views:
+        for off, length in segs:
+            counts[off : off + length] += 1
+    hist: Dict[int, int] = {}
+    for k in range(1, int(counts.max(initial=0)) + 1):
+        nbytes = int(np.count_nonzero(counts == k))
+        if nbytes:
+            hist[k] = nbytes
+    return hist
+
+
+def figure3_partition_summary(M: int, N: int, P: int, R: int) -> List[Dict[str, str]]:
+    """Figure 3: per-rank file-view shapes for row-wise and column-wise cases."""
+    rows: List[Dict[str, str]] = []
+    for pattern, views in (
+        ("row-wise", row_wise_views(M, N, P, R)),
+        ("column-wise", column_wise_views(M, N, P, R)),
+    ):
+        regions = build_region_sets(views)
+        for region in regions:
+            rows.append(
+                {
+                    "pattern": pattern,
+                    "rank": str(region.rank),
+                    "segments": str(region.num_segments),
+                    "bytes": str(region.total_bytes),
+                    "contiguous": "yes" if region.is_contiguous() else "no",
+                    "extent bytes": str(region.extent_bytes()),
+                }
+            )
+    return rows
+
+
+def figure6_coloring_demo(M: int, N: int, P: int, R: int) -> Dict[str, object]:
+    """Figure 6: overlap matrix W and the 2-colouring of the column-wise case."""
+    regions = build_region_sets(column_wise_views(M, N, P, R))
+    overlap = build_overlap_matrix(regions)
+    coloring = greedy_coloring(overlap)
+    return {
+        "W": overlap.as_int_matrix(),
+        "colors": list(coloring.colors),
+        "num_colors": coloring.num_colors,
+        "groups": coloring.groups(),
+    }
+
+
+def figure7_rank_ordering_views(M: int, N: int, P: int, R: int) -> List[Dict[str, str]]:
+    """Figure 7: the trimmed per-rank file views under rank ordering."""
+    regions = build_region_sets(column_wise_views(M, N, P, R))
+    resolution = resolve_by_rank(regions)
+    rows: List[Dict[str, str]] = []
+    for rank in range(P):
+        before = regions[rank]
+        after = resolution.view_of(rank)
+        cols_before = before.total_bytes // M if M else 0
+        cols_after = after.total_bytes // M if M else 0
+        rows.append(
+            {
+                "rank": str(rank),
+                "columns before": str(cols_before),
+                "columns after": str(cols_after),
+                "bytes surrendered": str(resolution.surrendered_bytes[rank]),
+            }
+        )
+    return rows
+
+
+def figure8_report(table: ResultTable) -> str:
+    """Render every Figure 8 panel present in ``table`` as ASCII series."""
+    lines: List[str] = []
+    machines = sorted({r.machine for r in table.records})
+    labels = sorted({r.array_label for r in table.records})
+    for machine in machines:
+        for label in labels:
+            series = figure8_series(table, machine, label)
+            if not series:
+                continue
+            lines.append(f"-- {machine}  array {label} --")
+            for strategy, points in sorted(series.items()):
+                rendered = ", ".join(f"P={p}: {bw:8.2f} MB/s" for p, bw in points)
+                lines.append(f"   {strategy:15s} {rendered}")
+            lines.append("")
+    return "\n".join(lines)

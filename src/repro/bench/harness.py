@@ -1,0 +1,155 @@
+"""Experiment driver for the paper's evaluation (Figure 8).
+
+:func:`run_column_wise_experiment` measures one point: a column-wise
+partitioned concurrent overlapping write of an ``M x N`` byte array by ``P``
+processes on one machine personality under one atomicity strategy, returning
+an :class:`~repro.bench.results.ExperimentRecord` with the virtual-time
+bandwidth and an atomicity verdict.
+
+:func:`run_figure8_grid` sweeps the full grid the paper reports — three
+machines × three array sizes × P ∈ {4, 8, 16} × the applicable strategies —
+and returns a :class:`~repro.bench.results.ResultTable`.  On Cplant/ENFS the
+locking strategy is skipped (no lock support), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..core.executor import AtomicWriteExecutor
+from ..core.overlap import overlapped_bytes_total
+from ..core.regions import FileRegionSet
+from ..core.strategies import strategy_by_name
+from ..fs.filesystem import ParallelFileSystem
+from ..mpi.comm import CommCostModel
+from ..patterns.partition import column_wise_views
+from ..patterns.workloads import (
+    PAPER_ARRAY_SIZES,
+    PAPER_OVERLAP_COLUMNS,
+    PAPER_PROCESS_COUNTS,
+    rank_fill_bytes,
+)
+from ..verify.atomicity import check_mpi_atomicity
+from .machines import ALL_MACHINES, MachineSpec, machine_by_name
+from .results import ExperimentRecord, ResultTable
+
+__all__ = [
+    "DEFAULT_ROW_SCALE",
+    "run_column_wise_experiment",
+    "run_figure8_grid",
+    "strategies_for_machine",
+]
+
+#: Default divisor applied to the paper's 4096-row arrays so the full grid
+#: (3 machines x 3 sizes x 3 process counts x 3 strategies) completes in
+#: seconds.  Row counts scale the number of per-rank segments; the relative
+#: behaviour of the strategies is unchanged (see EXPERIMENTS.md).
+DEFAULT_ROW_SCALE = 64
+
+
+def strategies_for_machine(machine: MachineSpec, strategies: Sequence[str]) -> List[str]:
+    """Drop the locking strategy on machines without lock support (ENFS)."""
+    out = []
+    for s in strategies:
+        if s == "locking" and not machine.supports_locking:
+            continue
+        out.append(s)
+    return out
+
+
+def run_column_wise_experiment(
+    machine: MachineSpec | str,
+    M: int,
+    N: int,
+    nprocs: int,
+    strategy: str,
+    overlap_columns: int = PAPER_OVERLAP_COLUMNS,
+    array_label: Optional[str] = None,
+    verify: bool = True,
+) -> ExperimentRecord:
+    """Measure one (machine, size, P, strategy) point of Figure 8."""
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    fs = ParallelFileSystem(machine.make_fs_config())
+    strat = strategy_by_name(strategy)
+    executor = AtomicWriteExecutor(
+        fs,
+        strat,
+        filename=f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_{strategy}.dat",
+        comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
+    )
+    views = column_wise_views(M, N, nprocs, overlap_columns)
+    result = executor.run(
+        nprocs,
+        view_factory=lambda rank, _P: views[rank],
+        data_factory=rank_fill_bytes,
+    )
+    regions = result.regions
+    atomic_ok = True
+    if verify and strategy != "none":
+        report = check_mpi_atomicity(result.file.store, regions)
+        atomic_ok = report.ok
+    overlap_bytes = overlapped_bytes_total(regions)
+    lock_waits = 0
+    lm = result.file.lock_manager
+    if lm is not None and hasattr(lm, "wait_count"):
+        lock_waits = lm.wait_count
+    phases = max(o.phases for o in result.outcomes)
+    return ExperimentRecord(
+        machine=machine.name,
+        file_system=machine.file_system,
+        array_label=array_label or f"{M}x{N}",
+        M=M,
+        N=N,
+        nprocs=nprocs,
+        strategy=strategy,
+        bytes_requested=result.total_bytes_requested,
+        bytes_written=result.total_bytes_written,
+        makespan_seconds=result.makespan,
+        atomic_ok=atomic_ok,
+        overlap_bytes=overlap_bytes,
+        phases=phases,
+        lock_waits=lock_waits,
+    )
+
+
+def run_figure8_grid(
+    machines: Optional[Iterable[MachineSpec | str]] = None,
+    array_labels: Optional[Sequence[str]] = None,
+    process_counts: Sequence[int] = PAPER_PROCESS_COUNTS,
+    strategies: Sequence[str] = ("locking", "graph-coloring", "rank-ordering"),
+    row_scale: int = DEFAULT_ROW_SCALE,
+    overlap_columns: int = PAPER_OVERLAP_COLUMNS,
+    verify: bool = True,
+) -> ResultTable:
+    """Sweep the full Figure 8 grid and return every measured point.
+
+    ``row_scale`` divides the paper's 4096-row arrays (see
+    :data:`DEFAULT_ROW_SCALE`); pass 1 to run the paper's exact shapes.
+    """
+    if machines is None:
+        machines = ALL_MACHINES
+    if array_labels is None:
+        array_labels = list(PAPER_ARRAY_SIZES)
+    table = ResultTable()
+    for machine in machines:
+        spec = machine_by_name(machine) if isinstance(machine, str) else machine
+        for label in array_labels:
+            M, N = PAPER_ARRAY_SIZES[label]
+            if M % row_scale != 0:
+                raise ValueError(f"row_scale {row_scale} does not divide M={M}")
+            M_scaled = M // row_scale
+            for nprocs in process_counts:
+                for strategy in strategies_for_machine(spec, strategies):
+                    record = run_column_wise_experiment(
+                        spec,
+                        M_scaled,
+                        N,
+                        nprocs,
+                        strategy,
+                        overlap_columns=overlap_columns,
+                        array_label=label,
+                        verify=verify,
+                    )
+                    table.add(record)
+    return table

@@ -1,0 +1,107 @@
+"""Machine presets — Table 1 of the paper.
+
+Each :class:`MachineSpec` records the descriptive fields printed in Table 1
+(file system, CPU, network, I/O server count, peak I/O bandwidth) and knows
+how to build the corresponding file-system personality
+(:mod:`repro.fs.presets`) used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..fs.filesystem import FSConfig
+from ..fs.presets import enfs_config, gpfs_config, xfs_config
+
+__all__ = ["MachineSpec", "CPLANT", "ORIGIN2000", "IBM_SP", "ALL_MACHINES", "machine_by_name", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One row of Table 1 plus the file-system personality it maps to."""
+
+    name: str
+    file_system: str
+    cpu_type: str
+    cpu_speed: str
+    network: str
+    io_servers: Optional[int]
+    peak_io_bandwidth: str
+    supports_locking: bool
+    config_factory: Callable[[], FSConfig]
+
+    def make_fs_config(self) -> FSConfig:
+        """Build the file-system configuration for this machine."""
+        return self.config_factory()
+
+
+CPLANT = MachineSpec(
+    name="Cplant",
+    file_system="ENFS",
+    cpu_type="Alpha",
+    cpu_speed="500 MHz",
+    network="Myrinet",
+    io_servers=12,
+    peak_io_bandwidth="50 MB/s",
+    supports_locking=False,
+    config_factory=enfs_config,
+)
+
+ORIGIN2000 = MachineSpec(
+    name="Origin 2000",
+    file_system="XFS",
+    cpu_type="R10000",
+    cpu_speed="195 MHz",
+    network="Gigabit Ethernet",
+    io_servers=None,
+    peak_io_bandwidth="4 GB/s",
+    supports_locking=True,
+    config_factory=xfs_config,
+)
+
+IBM_SP = MachineSpec(
+    name="IBM SP",
+    file_system="GPFS",
+    cpu_type="Power3",
+    cpu_speed="375 MHz",
+    network="Colony switch",
+    io_servers=12,
+    peak_io_bandwidth="1.5 GB/s",
+    supports_locking=True,
+    config_factory=gpfs_config,
+)
+
+ALL_MACHINES: List[MachineSpec] = [CPLANT, ORIGIN2000, IBM_SP]
+
+_BY_NAME: Dict[str, MachineSpec] = {
+    m.name.lower(): m for m in ALL_MACHINES
+}
+_BY_NAME.update({m.file_system.lower(): m for m in ALL_MACHINES})
+
+
+def machine_by_name(name: str) -> MachineSpec:
+    """Look up a machine by machine name or file-system name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = sorted({m.name for m in ALL_MACHINES})
+        raise KeyError(f"unknown machine {name!r}; known: {known}") from None
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """Table 1 rendered as a list of dicts (one per machine column)."""
+    rows = []
+    for m in ALL_MACHINES:
+        rows.append(
+            {
+                "machine": m.name,
+                "file_system": m.file_system,
+                "cpu_type": m.cpu_type,
+                "cpu_speed": m.cpu_speed,
+                "network": m.network,
+                "io_servers": str(m.io_servers) if m.io_servers is not None else "-",
+                "peak_io_bandwidth": m.peak_io_bandwidth,
+            }
+        )
+    return rows

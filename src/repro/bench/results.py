@@ -1,0 +1,128 @@
+"""Benchmark result records and report formatting.
+
+The harness produces one :class:`ExperimentRecord` per (machine, array size,
+process count, strategy) point — the granularity of one bar/point in the
+paper's Figure 8 — and this module turns collections of records into the
+ASCII tables and series the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentRecord", "ResultTable", "format_table", "figure8_series"]
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured point of the evaluation."""
+
+    machine: str
+    file_system: str
+    array_label: str
+    M: int
+    N: int
+    nprocs: int
+    strategy: str
+    bytes_requested: int
+    bytes_written: int
+    makespan_seconds: float
+    atomic_ok: bool
+    overlap_bytes: int = 0
+    phases: int = 1
+    lock_waits: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bandwidth_mb_per_s(self) -> float:
+        """Effective bandwidth (requested volume / slowest-rank time), MB/s."""
+        if self.makespan_seconds <= 0:
+            return float("inf")
+        return self.bytes_requested / MB / self.makespan_seconds
+
+    def as_row(self) -> Dict[str, str]:
+        """Flat dict used by the table formatter."""
+        return {
+            "machine": self.machine,
+            "fs": self.file_system,
+            "array": self.array_label,
+            "P": str(self.nprocs),
+            "strategy": self.strategy,
+            "MB requested": f"{self.bytes_requested / MB:.1f}",
+            "MB written": f"{self.bytes_written / MB:.1f}",
+            "time (s)": f"{self.makespan_seconds:.4f}",
+            "BW (MB/s)": f"{self.bandwidth_mb_per_s:.2f}",
+            "atomic": "yes" if self.atomic_ok else "NO",
+        }
+
+
+class ResultTable:
+    """A collection of experiment records with simple query helpers."""
+
+    def __init__(self, records: Iterable[ExperimentRecord] = ()) -> None:
+        self.records: List[ExperimentRecord] = list(records)
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def filter(self, **criteria) -> "ResultTable":
+        """Records matching all ``field=value`` criteria."""
+        out = [
+            r for r in self.records
+            if all(getattr(r, key) == value for key, value in criteria.items())
+        ]
+        return ResultTable(out)
+
+    def bandwidth_of(self, **criteria) -> Optional[float]:
+        """Bandwidth of the single record matching ``criteria`` (None if absent)."""
+        matches = self.filter(**criteria).records
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ValueError(f"criteria {criteria} match {len(matches)} records")
+        return matches[0].bandwidth_mb_per_s
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def to_text(self, title: str = "") -> str:
+        """Render all records as an aligned ASCII table."""
+        rows = [r.as_row() for r in self.records]
+        return format_table(rows, title=title)
+
+
+def format_table(rows: Sequence[Dict[str, str]], title: str = "") -> str:
+    """Align a list of uniform dicts into an ASCII table."""
+    if not rows:
+        return f"{title}\n(no data)\n" if title else "(no data)\n"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(c), max(len(str(r[c])) for r in rows)) for c in columns}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for r in rows:
+        lines.append(" | ".join(str(r[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def figure8_series(
+    table: ResultTable, machine: str, array_label: str
+) -> Dict[str, List[Tuple[int, float]]]:
+    """One Figure 8 panel: strategy -> [(nprocs, bandwidth MB/s), ...]."""
+    panel = table.filter(machine=machine, array_label=array_label)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for record in sorted(panel.records, key=lambda r: (r.strategy, r.nprocs)):
+        series.setdefault(record.strategy, []).append(
+            (record.nprocs, record.bandwidth_mb_per_s)
+        )
+    return series

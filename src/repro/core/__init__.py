@@ -1,0 +1,76 @@
+"""The paper's primary contribution: MPI atomicity strategies.
+
+Interval algebra, file-view region sets, overlap analysis, greedy graph
+colouring, process-rank ordering, the three atomicity strategies and the
+concurrent-write executor.
+"""
+
+from .intervals import Interval, IntervalSet, merge_interval_sets
+from .regions import FileRegionSet, build_region_sets
+from .overlap import (
+    OverlapMatrix,
+    build_overlap_matrix,
+    conflict_free_groups_are_disjoint,
+    overlapped_bytes_total,
+    pairwise_overlap_regions,
+)
+from .coloring import ColoringResult, chromatic_lower_bound, color_groups, greedy_coloring, validate_coloring
+from .rank_ordering import (
+    HIGHER_RANK_WINS,
+    LOWER_RANK_WINS,
+    RankOrderingResult,
+    resolve_by_rank,
+    verify_coverage_preserved,
+    verify_disjoint,
+)
+from .strategies import (
+    STRATEGY_NAMES,
+    AtomicityStrategy,
+    GraphColoringStrategy,
+    LockingStrategy,
+    NoAtomicityStrategy,
+    RankOrderingStrategy,
+    WriteOutcome,
+    strategy_by_name,
+)
+from .executor import AtomicWriteExecutor, ConcurrentWriteResult, default_data_factory
+from .analysis import ColumnWiseCase, StrategyEstimate, analyze_regions, estimate_column_wise
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "merge_interval_sets",
+    "FileRegionSet",
+    "build_region_sets",
+    "OverlapMatrix",
+    "build_overlap_matrix",
+    "pairwise_overlap_regions",
+    "overlapped_bytes_total",
+    "conflict_free_groups_are_disjoint",
+    "ColoringResult",
+    "greedy_coloring",
+    "validate_coloring",
+    "color_groups",
+    "chromatic_lower_bound",
+    "RankOrderingResult",
+    "resolve_by_rank",
+    "verify_disjoint",
+    "verify_coverage_preserved",
+    "HIGHER_RANK_WINS",
+    "LOWER_RANK_WINS",
+    "AtomicityStrategy",
+    "NoAtomicityStrategy",
+    "LockingStrategy",
+    "GraphColoringStrategy",
+    "RankOrderingStrategy",
+    "WriteOutcome",
+    "strategy_by_name",
+    "STRATEGY_NAMES",
+    "AtomicWriteExecutor",
+    "ConcurrentWriteResult",
+    "default_data_factory",
+    "ColumnWiseCase",
+    "StrategyEstimate",
+    "estimate_column_wise",
+    "analyze_regions",
+]

@@ -1,0 +1,310 @@
+"""Byte-range interval algebra.
+
+Every file view, lock request, overlap computation and rank-ordering trim in
+this library ultimately operates on sets of half-open byte intervals
+``[start, stop)`` over the file's linear offset space.  This module provides
+a small, dependency-free interval-set implementation with the operations the
+atomicity algorithms in :mod:`repro.core` need:
+
+* normalisation (sorting + coalescing of adjacent/overlapping intervals),
+* union, intersection, subtraction,
+* overlap queries between interval sets,
+* extent (the ``[first, last)`` hull used by the byte-range locking strategy).
+
+The representation is deliberately simple — a tuple of ``Interval`` objects —
+because the number of segments per file view in the paper's workloads is the
+number of array rows per process (thousands at most), and the algorithms are
+``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Interval", "IntervalSet"]
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open byte range ``[start, stop)``.
+
+    ``start`` and ``stop`` are non-negative integers with ``start <= stop``.
+    Empty intervals (``start == stop``) are permitted as values but are
+    dropped when building an :class:`IntervalSet`.
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < 0:
+            raise ValueError(f"negative offsets not allowed: {self!r}")
+        if self.stop < self.start:
+            raise ValueError(f"stop < start in {self!r}")
+
+    # -- basic properties -------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of bytes covered by the interval."""
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        """True when the interval covers no bytes."""
+        return self.stop == self.start
+
+    # -- relations ---------------------------------------------------------
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two intervals share at least one byte."""
+        return self.start < other.stop and other.start < self.stop
+
+    def touches(self, other: "Interval") -> bool:
+        """True when the intervals overlap or are exactly adjacent."""
+        return self.start <= other.stop and other.start <= self.stop
+
+    def contains_offset(self, offset: int) -> bool:
+        """True when ``offset`` falls inside the interval."""
+        return self.start <= offset < self.stop
+
+    def contains(self, other: "Interval") -> bool:
+        """True when ``other`` is fully inside this interval."""
+        if other.is_empty():
+            return self.start <= other.start <= self.stop
+        return self.start <= other.start and other.stop <= self.stop
+
+    # -- operations ---------------------------------------------------------
+
+    def intersection(self, other: "Interval") -> "Interval":
+        """The overlapping sub-range (possibly empty, anchored at ``start``)."""
+        lo = max(self.start, other.start)
+        hi = min(self.stop, other.stop)
+        if hi < lo:
+            return Interval(lo, lo)
+        return Interval(lo, hi)
+
+    def subtract(self, other: "Interval") -> Tuple["Interval", ...]:
+        """Bytes of ``self`` not covered by ``other`` (0, 1 or 2 pieces)."""
+        if not self.overlaps(other):
+            return (self,) if not self.is_empty() else ()
+        pieces: List[Interval] = []
+        if self.start < other.start:
+            pieces.append(Interval(self.start, other.start))
+        if other.stop < self.stop:
+            pieces.append(Interval(other.stop, self.stop))
+        return tuple(pieces)
+
+    def shifted(self, delta: int) -> "Interval":
+        """The interval translated by ``delta`` bytes."""
+        return Interval(self.start + delta, self.stop + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interval({self.start}, {self.stop})"
+
+
+class IntervalSet:
+    """An immutable, normalised set of disjoint byte intervals.
+
+    The constructor accepts any iterable of :class:`Interval` (or
+    ``(start, stop)`` pairs); the result is sorted, with empty intervals
+    dropped and overlapping/adjacent intervals coalesced.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval | Tuple[int, int]] = ()) -> None:
+        norm = self._normalise(intervals)
+        object.__setattr__(self, "_intervals", norm)
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def _coerce(item: Interval | Tuple[int, int]) -> Interval:
+        if isinstance(item, Interval):
+            return item
+        start, stop = item
+        return Interval(int(start), int(stop))
+
+    @classmethod
+    def _normalise(
+        cls, intervals: Iterable[Interval | Tuple[int, int]]
+    ) -> Tuple[Interval, ...]:
+        items = sorted(
+            (cls._coerce(iv) for iv in intervals), key=lambda iv: (iv.start, iv.stop)
+        )
+        merged: List[Interval] = []
+        for iv in items:
+            if iv.is_empty():
+                continue
+            if merged and iv.start <= merged[-1].stop:
+                last = merged[-1]
+                if iv.stop > last.stop:
+                    merged[-1] = Interval(last.start, iv.stop)
+            else:
+                merged.append(iv)
+        return tuple(merged)
+
+    @classmethod
+    def from_segments(cls, segments: Iterable[Tuple[int, int]]) -> "IntervalSet":
+        """Build from ``(offset, length)`` pairs (the flattened-datatype form)."""
+        return cls(Interval(off, off + length) for off, length in segments)
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty interval set."""
+        return cls(())
+
+    @classmethod
+    def single(cls, start: int, stop: int) -> "IntervalSet":
+        """An interval set holding one range ``[start, stop)``."""
+        return cls((Interval(start, stop),))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The normalised, sorted, disjoint intervals."""
+        return self._intervals
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"[{iv.start},{iv.stop})" for iv in self._intervals)
+        return f"IntervalSet({inner})"
+
+    @property
+    def total_bytes(self) -> int:
+        """Total number of bytes covered."""
+        return sum(iv.length for iv in self._intervals)
+
+    def is_empty(self) -> bool:
+        """True when no bytes are covered."""
+        return not self._intervals
+
+    @property
+    def min_offset(self) -> Optional[int]:
+        """Lowest covered offset, or ``None`` when empty."""
+        return self._intervals[0].start if self._intervals else None
+
+    @property
+    def max_offset(self) -> Optional[int]:
+        """One past the highest covered offset, or ``None`` when empty."""
+        return self._intervals[-1].stop if self._intervals else None
+
+    def extent(self) -> Optional[Interval]:
+        """The hull ``[min_offset, max_offset)`` — what the locking strategy locks."""
+        if not self._intervals:
+            return None
+        return Interval(self._intervals[0].start, self._intervals[-1].stop)
+
+    def contains_offset(self, offset: int) -> bool:
+        """True when ``offset`` is covered by some interval (binary search)."""
+        lo, hi = 0, len(self._intervals)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if offset < iv.start:
+                hi = mid
+            elif offset >= iv.stop:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    def covers(self, other: "IntervalSet") -> bool:
+        """True when every byte of ``other`` is also in ``self``."""
+        return other.subtract(self).is_empty()
+
+    # -- set algebra ----------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Bytes in either set."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        """Bytes present in both sets (linear merge)."""
+        out: List[Interval] = []
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i].start, b[j].start)
+            hi = min(a[i].stop, b[j].stop)
+            if lo < hi:
+                out.append(Interval(lo, hi))
+            if a[i].stop < b[j].stop:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def subtract(self, other: "IntervalSet") -> "IntervalSet":
+        """Bytes in ``self`` but not in ``other`` (linear sweep)."""
+        if not other._intervals or not self._intervals:
+            return IntervalSet(self._intervals)
+        out: List[Interval] = []
+        j = 0
+        b = other._intervals
+        for iv in self._intervals:
+            cur_start = iv.start
+            while j < len(b) and b[j].stop <= cur_start:
+                j += 1
+            k = j
+            while k < len(b) and b[k].start < iv.stop:
+                if b[k].start > cur_start:
+                    out.append(Interval(cur_start, b[k].start))
+                cur_start = max(cur_start, b[k].stop)
+                if cur_start >= iv.stop:
+                    break
+                k += 1
+            if cur_start < iv.stop:
+                out.append(Interval(cur_start, iv.stop))
+        return IntervalSet(out)
+
+    def overlaps(self, other: "IntervalSet") -> bool:
+        """True when the two sets share at least one byte."""
+        a, b = self._intervals, other._intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].overlaps(b[j]):
+                return True
+            if a[i].stop <= b[j].start:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def shifted(self, delta: int) -> "IntervalSet":
+        """The whole set translated by ``delta`` bytes."""
+        return IntervalSet(iv.shifted(delta) for iv in self._intervals)
+
+    def clipped(self, lo: int, hi: int) -> "IntervalSet":
+        """Bytes of the set falling inside ``[lo, hi)``."""
+        return self.intersection(IntervalSet.single(lo, hi))
+
+    def as_segments(self) -> List[Tuple[int, int]]:
+        """Return ``(offset, length)`` pairs (inverse of :meth:`from_segments`)."""
+        return [(iv.start, iv.length) for iv in self._intervals]
+
+
+def merge_interval_sets(sets: Sequence[IntervalSet]) -> IntervalSet:
+    """Union of many interval sets."""
+    intervals: List[Interval] = []
+    for s in sets:
+        intervals.extend(s.intervals)
+    return IntervalSet(intervals)

@@ -1,0 +1,164 @@
+"""Overlap analysis between per-process file views.
+
+The handshaking strategies of the paper (Section 3.3) both begin by having
+every process learn which other processes its file view overlaps with:
+
+* the **graph-coloring** strategy needs only a boolean overlap matrix ``W``
+  (``W[i][j] = 1`` when process *i* and *j* access at least one common byte,
+  Figure 5);
+* the **process-rank ordering** strategy needs the *exact* overlapped byte
+  ranges so each process can trim them from its own view (Figure 7).
+
+Both are computed here from :class:`~repro.core.regions.FileRegionSet`
+objects.  In the distributed implementation
+(:class:`repro.core.strategies.GraphColoringStrategy` and friends) each rank
+contributes its own flattened view through ``allgather`` and then runs these
+routines locally — exactly the negotiation the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .intervals import IntervalSet, merge_interval_sets
+from .regions import FileRegionSet
+
+__all__ = [
+    "OverlapMatrix",
+    "build_overlap_matrix",
+    "pairwise_overlap_regions",
+    "overlapped_bytes_total",
+    "conflict_free_groups_are_disjoint",
+]
+
+
+@dataclass(frozen=True)
+class OverlapMatrix:
+    """Boolean overlap matrix ``W`` over ``nprocs`` processes.
+
+    ``matrix[i, j]`` is ``True`` when the file views of processes *i* and *j*
+    (``i != j``) share at least one byte.  The matrix is symmetric with a
+    ``False`` diagonal, as in Figure 5 of the paper.
+    """
+
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        m = self.matrix
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError("overlap matrix must be square")
+        if m.dtype != np.bool_:
+            raise ValueError("overlap matrix must be boolean")
+        if np.any(np.diag(m)):
+            raise ValueError("overlap matrix diagonal must be False")
+        if not np.array_equal(m, m.T):
+            raise ValueError("overlap matrix must be symmetric")
+
+    @property
+    def nprocs(self) -> int:
+        """Number of processes the matrix describes."""
+        return self.matrix.shape[0]
+
+    def neighbors(self, rank: int) -> List[int]:
+        """Ranks whose views overlap ``rank``'s view."""
+        return [int(j) for j in np.nonzero(self.matrix[rank])[0]]
+
+    def degree(self, rank: int) -> int:
+        """Number of overlapping neighbours of ``rank``."""
+        return int(self.matrix[rank].sum())
+
+    def max_degree(self) -> int:
+        """Largest neighbour count over all ranks (0 for an empty graph)."""
+        if self.nprocs == 0:
+            return 0
+        return int(self.matrix.sum(axis=1).max())
+
+    def has_any_overlap(self) -> bool:
+        """True when at least one pair of processes overlaps."""
+        return bool(self.matrix.any())
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All overlapping pairs ``(i, j)`` with ``i < j``."""
+        out: List[Tuple[int, int]] = []
+        n = self.nprocs
+        for i in range(n):
+            for j in range(i + 1, n):
+                if self.matrix[i, j]:
+                    out.append((i, j))
+        return out
+
+    def as_int_matrix(self) -> np.ndarray:
+        """The matrix as 0/1 integers (the form printed in Figure 6)."""
+        return self.matrix.astype(np.int8)
+
+
+def build_overlap_matrix(regions: Sequence[FileRegionSet]) -> OverlapMatrix:
+    """Construct the boolean overlap matrix ``W`` from all processes' views.
+
+    ``regions[i]`` must be the view of rank ``i``.  Complexity is
+    ``O(P^2 * s)`` where ``s`` is the segment count per view; ``P`` is the
+    number of I/O processes (at most a few hundred in the paper's setting).
+    """
+    n = len(regions)
+    for rank, region in enumerate(regions):
+        if region.rank != rank:
+            raise ValueError(
+                f"regions must be ordered by rank: index {rank} holds rank {region.rank}"
+            )
+    w = np.zeros((n, n), dtype=np.bool_)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if regions[i].overlaps(regions[j]):
+                w[i, j] = w[j, i] = True
+    return OverlapMatrix(w)
+
+
+def pairwise_overlap_regions(
+    regions: Sequence[FileRegionSet],
+) -> Dict[Tuple[int, int], IntervalSet]:
+    """Exact overlapped byte ranges for every overlapping pair ``(i, j)``, i<j.
+
+    This is the information the process-rank ordering strategy needs: unlike
+    the coloring strategy's single bit per pair, rank ordering must know the
+    byte ranges so lower ranks can surrender exactly those bytes.
+    """
+    out: Dict[Tuple[int, int], IntervalSet] = {}
+    n = len(regions)
+    for i in range(n):
+        for j in range(i + 1, n):
+            inter = regions[i].overlap_region(regions[j])
+            if not inter.is_empty():
+                out[(i, j)] = inter
+    return out
+
+
+def overlapped_bytes_total(regions: Sequence[FileRegionSet]) -> int:
+    """Total number of file bytes written by more than one process."""
+    n = len(regions)
+    overlapped: List[IntervalSet] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            inter = regions[i].overlap_region(regions[j])
+            if not inter.is_empty():
+                overlapped.append(inter)
+    return merge_interval_sets(overlapped).total_bytes if overlapped else 0
+
+
+def conflict_free_groups_are_disjoint(
+    regions: Sequence[FileRegionSet], groups: Sequence[Sequence[int]]
+) -> bool:
+    """Check that no two ranks placed in the same group overlap.
+
+    Used to validate graph-coloring output: every colour class must be an
+    independent set of the overlap graph.
+    """
+    for group in groups:
+        members = list(group)
+        for a_idx in range(len(members)):
+            for b_idx in range(a_idx + 1, len(members)):
+                if regions[members[a_idx]].overlaps(regions[members[b_idx]]):
+                    return False
+    return True

@@ -1,0 +1,170 @@
+"""File-region descriptions of per-process file views.
+
+The atomicity strategies in :mod:`repro.core.strategies` operate on the
+*flattened* form of each process's MPI file view: an ordered list of
+contiguous file segments ``(offset, length)`` that a single MPI read/write
+call will touch.  :class:`FileRegionSet` packages that list together with the
+owning rank and provides the queries the strategies need (overlap tests,
+extent, trimming against other processes' regions).
+
+The ordered segment list (``segments``) preserves the data-stream order of
+the MPI file view — segment ``i`` receives the next ``length_i`` bytes of the
+user buffer — while the normalised :class:`~repro.core.intervals.IntervalSet`
+(``coverage``) is used for the set-algebra questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from .intervals import Interval, IntervalSet
+
+__all__ = ["FileRegionSet", "build_region_sets"]
+
+
+@dataclass(frozen=True)
+class FileRegionSet:
+    """The file regions one process will access in a single MPI I/O call.
+
+    Parameters
+    ----------
+    rank:
+        The MPI rank owning this view.
+    segments:
+        Ordered ``(file_offset, length)`` pairs in data-stream order.  The
+        same file byte must not appear twice within one process's view (MPI
+        forbids overlapping writes *within* a single request in atomic mode);
+        this is validated at construction.
+    """
+
+    rank: int
+    segments: Tuple[Tuple[int, int], ...]
+    coverage: IntervalSet = field(init=False, compare=False, repr=False)
+
+    def __init__(self, rank: int, segments: Iterable[Tuple[int, int]]):
+        segs = tuple((int(off), int(length)) for off, length in segments)
+        for off, length in segs:
+            if off < 0 or length < 0:
+                raise ValueError(f"invalid segment ({off}, {length})")
+        segs = tuple((off, length) for off, length in segs if length > 0)
+        coverage = IntervalSet.from_segments(segs)
+        if coverage.total_bytes != sum(length for _, length in segs):
+            raise ValueError(
+                f"rank {rank}: file view segments overlap each other; "
+                "a single MPI request may not write the same byte twice"
+            )
+        object.__setattr__(self, "rank", int(rank))
+        object.__setattr__(self, "segments", segs)
+        object.__setattr__(self, "coverage", coverage)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Number of bytes this process accesses."""
+        return sum(length for _, length in self.segments)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of contiguous file segments in the view."""
+        return len(self.segments)
+
+    def is_empty(self) -> bool:
+        """True when the view accesses no bytes."""
+        return not self.segments
+
+    def is_contiguous(self) -> bool:
+        """True when the whole view is a single contiguous file range."""
+        return len(self.coverage.intervals) <= 1
+
+    def extent(self) -> Interval | None:
+        """Hull ``[first byte, last byte)`` of the view (what locking locks)."""
+        return self.coverage.extent()
+
+    def extent_bytes(self) -> int:
+        """Size in bytes of the extent hull (0 when empty)."""
+        ext = self.extent()
+        return 0 if ext is None else ext.length
+
+    # -- relations -------------------------------------------------------------
+
+    def overlaps(self, other: "FileRegionSet") -> bool:
+        """True when the two processes access at least one common byte."""
+        return self.coverage.overlaps(other.coverage)
+
+    def overlap_bytes(self, other: "FileRegionSet") -> int:
+        """Number of bytes accessed by both processes."""
+        return self.coverage.intersection(other.coverage).total_bytes
+
+    def overlap_region(self, other: "FileRegionSet") -> IntervalSet:
+        """The byte ranges accessed by both processes."""
+        return self.coverage.intersection(other.coverage)
+
+    # -- transformation ---------------------------------------------------------
+
+    def trimmed(self, remove: IntervalSet) -> "FileRegionSet":
+        """A copy of the view with the ``remove`` byte ranges cut out.
+
+        This is the core operation of the process-rank ordering strategy: a
+        lower-ranked process surrenders the bytes that a higher-ranked
+        process will also write.  Segment order is preserved; segments that
+        intersect ``remove`` are split, segments fully covered are dropped.
+        """
+        if remove.is_empty() or not self.segments:
+            return self
+        new_segments: List[Tuple[int, int]] = []
+        for off, length in self.segments:
+            piece = IntervalSet.single(off, off + length).subtract(remove)
+            for iv in piece:
+                new_segments.append((iv.start, iv.length))
+        return FileRegionSet(self.rank, new_segments)
+
+    def restricted_to(self, keep: IntervalSet) -> "FileRegionSet":
+        """A copy of the view containing only bytes inside ``keep``."""
+        new_segments: List[Tuple[int, int]] = []
+        for off, length in self.segments:
+            piece = IntervalSet.single(off, off + length).intersection(keep)
+            for iv in piece:
+                new_segments.append((iv.start, iv.length))
+        return FileRegionSet(self.rank, new_segments)
+
+    # -- buffer mapping -----------------------------------------------------------
+
+    def buffer_map(self) -> List[Tuple[int, int, int]]:
+        """Map user-buffer offsets to file segments.
+
+        Returns a list of ``(buffer_offset, file_offset, length)`` triples in
+        data-stream order: byte ``buffer_offset + i`` of the user buffer goes
+        to file byte ``file_offset + i``.
+        """
+        out: List[Tuple[int, int, int]] = []
+        buf = 0
+        for off, length in self.segments:
+            out.append((buf, off, length))
+            buf += length
+        return out
+
+    def buffer_map_restricted(self, keep: IntervalSet) -> List[Tuple[int, int, int]]:
+        """Like :meth:`buffer_map` but keeping only the file bytes in ``keep``.
+
+        Needed by the rank-ordering strategy: after trimming, each remaining
+        file range must still be paired with the *original* position of its
+        data in the user buffer (the surrendered bytes are simply never
+        transferred).
+        """
+        out: List[Tuple[int, int, int]] = []
+        buf = 0
+        for off, length in self.segments:
+            pieces = IntervalSet.single(off, off + length).intersection(keep)
+            for iv in pieces:
+                out.append((buf + (iv.start - off), iv.start, iv.length))
+            buf += length
+        return out
+
+
+def build_region_sets(
+    views: Sequence[Sequence[Tuple[int, int]]]
+) -> List[FileRegionSet]:
+    """Build one :class:`FileRegionSet` per rank from raw segment lists."""
+    return [FileRegionSet(rank, segs) for rank, segs in enumerate(views)]

@@ -1,0 +1,292 @@
+"""MPI-atomicity implementation strategies (Section 3 of the paper).
+
+Each strategy turns one rank's share of a *concurrent overlapping write*
+into a sequence of file system operations such that the MPI atomic-mode
+guarantee holds: every byte of every overlapped region ends up containing
+data from exactly one of the participating processes.
+
+Implemented strategies:
+
+:class:`NoAtomicityStrategy`
+    The baseline (MPI non-atomic mode): each contiguous segment becomes an
+    independent POSIX write.  Overlapped regions may end up interleaved —
+    this is the failure mode of Figure 2 that motivates the paper.
+
+:class:`LockingStrategy`
+    Byte-range file locking (Section 3.2, the ROMIO approach): lock the whole
+    extent of the process's file view, write every segment directly to the
+    servers, unlock.  Correct on any file system with byte-range locks, but
+    for the column-wise pattern the extent is nearly the whole file, so the
+    concurrent writes serialise.
+
+:class:`GraphColoringStrategy`
+    Process handshaking via graph colouring (Section 3.3.1): exchange file
+    views, build the boolean overlap matrix, greedily colour it, and perform
+    the I/O in one phase per colour with barriers in between, flushing
+    (``sync``) after the writes of each phase.
+
+:class:`RankOrderingStrategy`
+    Process-rank ordering (Section 3.3.2): exchange file views, give every
+    overlapped byte to the highest-ranked writer, trim lower-ranked views,
+    and let all processes write their now-disjoint regions fully in parallel.
+
+All strategies are *collective over the communicator*: every rank of the
+concurrent operation must call :meth:`AtomicityStrategy.execute_write`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fs.client import ClientFileHandle
+from ..fs.lockmanager import LockMode
+from ..mpi.comm import Communicator
+from .coloring import ColoringResult, greedy_coloring
+from .overlap import build_overlap_matrix
+from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy, resolve_by_rank
+from .regions import FileRegionSet
+
+__all__ = [
+    "WriteOutcome",
+    "AtomicityStrategy",
+    "NoAtomicityStrategy",
+    "LockingStrategy",
+    "GraphColoringStrategy",
+    "RankOrderingStrategy",
+    "strategy_by_name",
+    "STRATEGY_NAMES",
+]
+
+
+@dataclass
+class WriteOutcome:
+    """Per-rank accounting of one strategy execution."""
+
+    strategy: str
+    rank: int
+    bytes_requested: int = 0
+    bytes_written: int = 0
+    bytes_surrendered: int = 0
+    segments_written: int = 0
+    locks_acquired: int = 0
+    phases: int = 1
+    my_phase: int = 0
+    colors_used: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual time this rank spent in the strategy."""
+        return self.end_time - self.start_time
+
+
+class AtomicityStrategy(ABC):
+    """Interface of an MPI-atomicity implementation strategy."""
+
+    #: Short machine-readable identifier (used by the benchmark harness).
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute_write(
+        self,
+        comm: Communicator,
+        handle: ClientFileHandle,
+        region: FileRegionSet,
+        data: bytes,
+    ) -> WriteOutcome:
+        """Perform this rank's part of the concurrent overlapping write.
+
+        Parameters
+        ----------
+        comm:
+            Communicator of the participating processes (collective call).
+        handle:
+            The rank's open file handle.
+        region:
+            The rank's flattened file view for this request.
+        data:
+            The contiguous data stream; ``len(data)`` must equal
+            ``region.total_bytes``.
+        """
+
+    # -- shared helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _check_request(region: FileRegionSet, data: bytes) -> None:
+        if len(data) != region.total_bytes:
+            raise ValueError(
+                f"data stream has {len(data)} bytes but the file view covers "
+                f"{region.total_bytes} bytes"
+            )
+
+    @staticmethod
+    def _exchange_views(
+        comm: Communicator, region: FileRegionSet
+    ) -> List[FileRegionSet]:
+        """Allgather every rank's flattened view (the handshaking step)."""
+        all_segments = comm.allgather(region.segments)
+        return [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NoAtomicityStrategy(AtomicityStrategy):
+    """MPI non-atomic mode: uncoordinated per-segment POSIX writes."""
+
+    name = "none"
+
+    def __init__(self, use_cache: bool = True, sync_after: bool = True) -> None:
+        self.use_cache = use_cache
+        self.sync_after = sync_after
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        self._check_request(region, data)
+        out = WriteOutcome(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            start_time=handle.clock.now,
+        )
+        for buf_off, file_off, length in region.buffer_map():
+            handle.write(file_off, data[buf_off : buf_off + length], direct=not self.use_cache)
+            out.bytes_written += length
+            out.segments_written += 1
+        if self.sync_after:
+            handle.sync()
+        out.end_time = handle.clock.now
+        return out
+
+
+class LockingStrategy(AtomicityStrategy):
+    """Byte-range file locking over the whole file-view extent (Section 3.2)."""
+
+    name = "locking"
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        self._check_request(region, data)
+        out = WriteOutcome(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            start_time=handle.clock.now,
+        )
+        if region.is_empty():
+            out.end_time = handle.clock.now
+            return out
+        extent = region.extent()
+        # The lock must span from the first to the last byte the process will
+        # write; locking each segment individually is NOT sufficient for MPI
+        # atomicity (Section 3.2 / tests.test_incorrect_per_segment_locking).
+        lock = handle.lock(extent.start, extent.stop, mode=LockMode.EXCLUSIVE)
+        out.locks_acquired = 1
+        out.extra["locked_bytes"] = float(extent.length)
+        try:
+            for buf_off, file_off, length in region.buffer_map():
+                handle.write(file_off, data[buf_off : buf_off + length], direct=True)
+                out.bytes_written += length
+                out.segments_written += 1
+        finally:
+            handle.unlock(lock)
+        out.end_time = handle.clock.now
+        return out
+
+
+class GraphColoringStrategy(AtomicityStrategy):
+    """Process handshaking by graph colouring (Section 3.3.1)."""
+
+    name = "graph-coloring"
+
+    def __init__(self, use_cache: bool = True) -> None:
+        self.use_cache = use_cache
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        self._check_request(region, data)
+        out = WriteOutcome(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            start_time=handle.clock.now,
+        )
+        # Handshake: every process learns every other process's file view and
+        # independently computes the identical colouring.
+        regions = self._exchange_views(comm, region)
+        overlap = build_overlap_matrix(regions)
+        coloring: ColoringResult = greedy_coloring(overlap)
+        my_color = coloring.color_of(region.rank)
+        out.phases = max(coloring.num_colors, 1)
+        out.colors_used = coloring.num_colors
+        out.my_phase = my_color
+
+        for step in range(max(coloring.num_colors, 1)):
+            if step == my_color and not region.is_empty():
+                for buf_off, file_off, length in region.buffer_map():
+                    handle.write(
+                        file_off, data[buf_off : buf_off + length], direct=not self.use_cache
+                    )
+                    out.bytes_written += length
+                    out.segments_written += 1
+                # Flush write-behind data so the next colour's processes (and
+                # later readers) observe it — the file-sync the paper requires
+                # after every write when handshaking replaces locking.
+                handle.sync()
+            # No process of colour step+1 may start before colour step finishes.
+            comm.barrier()
+        out.end_time = handle.clock.now
+        return out
+
+
+class RankOrderingStrategy(AtomicityStrategy):
+    """Process-rank ordering (Section 3.3.2): high rank wins, others trim."""
+
+    name = "rank-ordering"
+
+    def __init__(self, policy: PriorityPolicy = HIGHER_RANK_WINS, use_cache: bool = True) -> None:
+        self.policy = policy
+        self.use_cache = use_cache
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        self._check_request(region, data)
+        out = WriteOutcome(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            start_time=handle.clock.now,
+        )
+        # Handshake: exchange exact file views (byte ranges, not just a bit).
+        regions = self._exchange_views(comm, region)
+        resolution = resolve_by_rank(regions, policy=self.policy)
+        my_view = resolution.view_of(region.rank)
+        out.bytes_surrendered = resolution.surrendered_bytes[region.rank]
+
+        # Write only the bytes this rank still owns; the data for surrendered
+        # bytes is simply not transferred (reducing the total I/O volume).
+        for buf_off, file_off, length in region.buffer_map_restricted(my_view.coverage):
+            handle.write(file_off, data[buf_off : buf_off + length], direct=not self.use_cache)
+            out.bytes_written += length
+            out.segments_written += 1
+        handle.sync()
+        out.end_time = handle.clock.now
+        return out
+
+
+STRATEGY_NAMES: Tuple[str, ...] = ("locking", "graph-coloring", "rank-ordering", "none")
+
+
+def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:
+    """Instantiate a strategy from its short name."""
+    table = {
+        "locking": LockingStrategy,
+        "graph-coloring": GraphColoringStrategy,
+        "rank-ordering": RankOrderingStrategy,
+        "none": NoAtomicityStrategy,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise KeyError(f"unknown strategy {name!r}; known: {sorted(table)}") from None
+    return cls(**kwargs)

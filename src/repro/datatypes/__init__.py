@@ -1,0 +1,58 @@
+"""MPI derived-datatype engine.
+
+Provides basic types, the :class:`~repro.datatypes.datatype.Datatype` object,
+the full family of MPI type constructors (contiguous, vector, indexed,
+struct, subarray, ...), flattening of datatypes into file segments, and
+pack/unpack of memory buffers.
+"""
+
+from .typemap import BYTE, CHAR, DOUBLE, FLOAT, INT, LONG, SHORT, BasicType
+from .datatype import Datatype, DatatypeError, from_basic
+from .constructors import (
+    ORDER_C,
+    ORDER_FORTRAN,
+    as_datatype,
+    contiguous,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from .flatten import flatten, flatten_prefix, segments_for_bytes
+from .pack import pack, packed_size, unpack
+
+__all__ = [
+    "BasicType",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "Datatype",
+    "DatatypeError",
+    "from_basic",
+    "as_datatype",
+    "contiguous",
+    "vector",
+    "hvector",
+    "indexed",
+    "hindexed",
+    "indexed_block",
+    "struct",
+    "subarray",
+    "resized",
+    "ORDER_C",
+    "ORDER_FORTRAN",
+    "flatten",
+    "flatten_prefix",
+    "segments_for_bytes",
+    "pack",
+    "unpack",
+    "packed_size",
+]

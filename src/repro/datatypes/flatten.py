@@ -1,0 +1,115 @@
+"""Flattening datatypes into absolute file segments.
+
+ROMIO's internal "flattening" pass converts an (etype, filetype, displacement)
+file view plus a request size into the list of contiguous ``(offset, length)``
+file ranges the request will touch.  The same operation is needed here both
+by the MPI-IO layer (:mod:`repro.io.fileview`) and, crucially, by the
+atomicity strategies — the overlap matrix and the rank-ordering trims are
+computed on flattened views.
+
+Flattening a datatype with a repetition ``count`` places copy *i* of the
+typemap at byte ``i * extent``, exactly as MPI does when a count or a file
+view tiling is applied.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .datatype import Datatype
+
+__all__ = ["flatten", "flatten_prefix", "segments_for_bytes"]
+
+
+def flatten(
+    datatype: Datatype, count: int = 1, offset: int = 0
+) -> List[Tuple[int, int]]:
+    """Expand ``count`` copies of ``datatype`` starting at byte ``offset``.
+
+    Returns ``(absolute_offset, length)`` pairs in data-stream order with
+    adjacent runs coalesced.  ``offset`` is typically the file-view
+    displacement.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out: List[Tuple[int, int]] = []
+    for i in range(count):
+        base = offset + i * datatype.extent
+        for disp, length in datatype.segments:
+            if length == 0:
+                continue
+            pos = base + disp
+            if out and out[-1][0] + out[-1][1] == pos:
+                out[-1] = (out[-1][0], out[-1][1] + length)
+            else:
+                out.append((pos, length))
+    return out
+
+
+def flatten_prefix(
+    datatype: Datatype, nbytes: int, offset: int = 0
+) -> List[Tuple[int, int]]:
+    """Flatten just enough copies of ``datatype`` to cover ``nbytes`` of data.
+
+    This is what an I/O call needs: the file view's filetype tiles the file
+    indefinitely, and a request of ``nbytes`` consumes the first ``nbytes``
+    bytes of that (logically infinite) data stream.  The final segment is
+    truncated so exactly ``nbytes`` data bytes are covered.
+
+    Raises ``ValueError`` when the datatype has zero size but ``nbytes > 0``
+    (the data stream could never be satisfied).
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if nbytes == 0:
+        return []
+    if datatype.size == 0:
+        raise ValueError("cannot satisfy a non-empty request with a zero-size datatype")
+
+    out: List[Tuple[int, int]] = []
+    remaining = nbytes
+    tile = 0
+    while remaining > 0:
+        base = offset + tile * datatype.extent
+        for disp, length in datatype.segments:
+            if remaining <= 0:
+                break
+            take = min(length, remaining)
+            pos = base + disp
+            if out and out[-1][0] + out[-1][1] == pos:
+                out[-1] = (out[-1][0], out[-1][1] + take)
+            else:
+                out.append((pos, take))
+            remaining -= take
+        tile += 1
+    return out
+
+
+def segments_for_bytes(
+    datatype: Datatype, nbytes: int, offset: int = 0, skip_bytes: int = 0
+) -> List[Tuple[int, int]]:
+    """Like :func:`flatten_prefix` but skipping ``skip_bytes`` of the data
+    stream first (used to honour an individual file pointer position).
+
+    ``skip_bytes`` is a position in the *data stream* (visible bytes), not a
+    file offset.
+    """
+    if skip_bytes < 0:
+        raise ValueError("skip_bytes must be non-negative")
+    if nbytes == 0:
+        return []
+    if datatype.size == 0:
+        raise ValueError("cannot satisfy a non-empty request with a zero-size datatype")
+
+    full = flatten_prefix(datatype, skip_bytes + nbytes, offset)
+    if skip_bytes == 0:
+        return full
+    out: List[Tuple[int, int]] = []
+    to_skip = skip_bytes
+    for pos, length in full:
+        if to_skip >= length:
+            to_skip -= length
+            continue
+        out.append((pos + to_skip, length - to_skip))
+        to_skip = 0
+    return out

@@ -1,0 +1,79 @@
+"""Packing and unpacking buffers described by datatypes.
+
+``MPI_Pack``/``MPI_Unpack`` equivalents: gather the bytes selected by a
+datatype out of a (possibly strided) memory buffer into a contiguous stream,
+and scatter a contiguous stream back out.  The MPI-IO layer uses these when
+the *memory* datatype of a request is non-contiguous (the paper's examples
+use contiguous memory buffers, but the library supports both sides).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from .datatype import Datatype, DatatypeError
+from .flatten import flatten
+
+__all__ = ["pack", "unpack", "packed_size"]
+
+BufferLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def _as_memoryview(buffer: BufferLike) -> memoryview:
+    """View any supported buffer as flat bytes."""
+    if isinstance(buffer, np.ndarray):
+        return memoryview(np.ascontiguousarray(buffer).view(np.uint8)).cast("B")
+    return memoryview(buffer).cast("B")
+
+
+def packed_size(datatype: Datatype, count: int = 1) -> int:
+    """Number of bytes ``count`` elements of ``datatype`` pack into."""
+    return datatype.size * count
+
+
+def pack(buffer: BufferLike, datatype: Datatype, count: int = 1) -> bytes:
+    """Gather ``count`` elements of ``datatype`` from ``buffer`` into a
+    contiguous byte string (data-stream order)."""
+    view = _as_memoryview(buffer)
+    segments = flatten(datatype, count)
+    total = packed_size(datatype, count)
+    out = bytearray(total)
+    pos = 0
+    for offset, length in segments:
+        if offset + length > len(view):
+            raise DatatypeError(
+                f"pack overruns buffer: need byte {offset + length}, "
+                f"buffer has {len(view)}"
+            )
+        out[pos : pos + length] = view[offset : offset + length]
+        pos += length
+    return bytes(out)
+
+
+def unpack(
+    data: BufferLike, datatype: Datatype, buffer: Union[bytearray, np.ndarray], count: int = 1
+) -> None:
+    """Scatter a contiguous byte stream ``data`` into ``buffer`` according to
+    ``count`` elements of ``datatype`` (inverse of :func:`pack`)."""
+    src = _as_memoryview(data)
+    if isinstance(buffer, np.ndarray):
+        if not buffer.flags["C_CONTIGUOUS"]:
+            raise DatatypeError("unpack target ndarray must be C-contiguous")
+        dst = memoryview(buffer.view(np.uint8)).cast("B")
+    else:
+        dst = memoryview(buffer).cast("B")
+    segments = flatten(datatype, count)
+    needed = packed_size(datatype, count)
+    if len(src) < needed:
+        raise DatatypeError(f"unpack needs {needed} bytes, got {len(src)}")
+    pos = 0
+    for offset, length in segments:
+        if offset + length > len(dst):
+            raise DatatypeError(
+                f"unpack overruns buffer: need byte {offset + length}, "
+                f"buffer has {len(dst)}"
+            )
+        dst[offset : offset + length] = src[pos : pos + length]
+        pos += length

@@ -1,0 +1,82 @@
+"""Basic MPI datatypes and typemap primitives.
+
+An MPI derived datatype is, semantically, a *typemap*: an ordered sequence of
+``(basic type, byte displacement)`` pairs.  Because this library only ever
+moves raw bytes (the file system substrate stores bytes, and numpy buffers
+are viewed as bytes), the typemap is represented as an ordered sequence of
+*byte segments* ``(displacement, length)`` — one segment per maximal run of
+contiguous basic-type bytes.  This preserves everything the MPI-IO layer
+needs (sizes, extents, data-stream order, holes) while keeping flattening and
+packing simple and fast.
+
+The module defines the predefined basic datatypes used by the examples and
+benchmarks (``BYTE``, ``CHAR``, ``INT``, ``FLOAT``, ``DOUBLE``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "BasicType",
+    "BYTE",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "FLOAT",
+    "DOUBLE",
+    "PREDEFINED",
+    "basic_type_by_name",
+]
+
+
+@dataclass(frozen=True)
+class BasicType:
+    """A predefined MPI basic datatype.
+
+    Attributes
+    ----------
+    name:
+        MPI-style name (``"MPI_INT"`` etc.), used in reprs and error messages.
+    size:
+        Size in bytes of a single element.
+    numpy_char:
+        The numpy dtype character corresponding to the basic type, used when
+        examples move numpy arrays through the MPI-IO layer.
+    """
+
+    name: str
+    size: int
+    numpy_char: str
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"basic type size must be positive: {self!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+BYTE = BasicType("MPI_BYTE", 1, "B")
+CHAR = BasicType("MPI_CHAR", 1, "b")
+SHORT = BasicType("MPI_SHORT", 2, "h")
+INT = BasicType("MPI_INT", 4, "i")
+LONG = BasicType("MPI_LONG", 8, "q")
+FLOAT = BasicType("MPI_FLOAT", 4, "f")
+DOUBLE = BasicType("MPI_DOUBLE", 8, "d")
+
+PREDEFINED: Dict[str, BasicType] = {
+    t.name: t for t in (BYTE, CHAR, SHORT, INT, LONG, FLOAT, DOUBLE)
+}
+
+
+def basic_type_by_name(name: str) -> BasicType:
+    """Look up a predefined basic type by its MPI name."""
+    try:
+        return PREDEFINED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown basic type {name!r}; known: {sorted(PREDEFINED)}"
+        ) from None

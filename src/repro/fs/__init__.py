@@ -1,0 +1,60 @@
+"""Parallel file system substrate.
+
+In-memory striped file system with POSIX per-call atomicity, client caches
+(read-ahead / write-behind), central and distributed byte-range lock
+managers, and a virtual-time cost model used to estimate I/O bandwidth.
+"""
+
+from .cache import CachePolicy, CacheStats, ClientCache
+from .client import ClientFileHandle, FSClient
+from .costmodel import CostModel, Resource
+from .errors import (
+    FileExists,
+    FileNotFound,
+    FileSystemError,
+    InvalidRequest,
+    LockingUnsupported,
+    LockViolation,
+)
+from .filesystem import FileObject, FSConfig, LockProtocol, ParallelFileSystem
+from .lockmanager import CentralLockManager, GrantedLock, LockMode
+from .presets import PRESET_NAMES, enfs_config, gpfs_config, preset, xfs_config
+from .server import IOServer, ServerPool
+from .storage import NO_WRITER, ByteStore
+from .striping import StripeChunk, StripingLayout
+from .tokens import DistributedLockManager
+
+__all__ = [
+    "ParallelFileSystem",
+    "FSConfig",
+    "LockProtocol",
+    "FileObject",
+    "FSClient",
+    "ClientFileHandle",
+    "ByteStore",
+    "NO_WRITER",
+    "StripingLayout",
+    "StripeChunk",
+    "IOServer",
+    "ServerPool",
+    "CostModel",
+    "Resource",
+    "CentralLockManager",
+    "DistributedLockManager",
+    "LockMode",
+    "GrantedLock",
+    "ClientCache",
+    "CachePolicy",
+    "CacheStats",
+    "enfs_config",
+    "xfs_config",
+    "gpfs_config",
+    "preset",
+    "PRESET_NAMES",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "InvalidRequest",
+    "LockingUnsupported",
+    "LockViolation",
+]

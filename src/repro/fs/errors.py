@@ -1,0 +1,41 @@
+"""Exception hierarchy for the parallel file system substrate."""
+
+from __future__ import annotations
+
+__all__ = [
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "InvalidRequest",
+    "LockingUnsupported",
+    "LockViolation",
+]
+
+
+class FileSystemError(Exception):
+    """Base class for all file-system substrate errors."""
+
+
+class FileNotFound(FileSystemError):
+    """The named file does not exist."""
+
+
+class FileExists(FileSystemError):
+    """Exclusive creation requested but the file already exists."""
+
+
+class InvalidRequest(FileSystemError):
+    """Malformed read/write/lock request (negative offsets, bad sizes, ...)."""
+
+
+class LockingUnsupported(FileSystemError):
+    """The file system personality does not provide byte-range locking.
+
+    The paper's Cplant/ENFS platform has no file locking; requesting the
+    locking-based atomicity strategy there raises this error, and the
+    benchmark harness skips that series exactly as the paper's Figure 8 does.
+    """
+
+
+class LockViolation(FileSystemError):
+    """A lock protocol rule was broken (double release, foreign release, ...)."""

@@ -1,0 +1,193 @@
+"""Central byte-range lock manager (NFS/XFS style).
+
+The locking-based atomicity strategy wraps every MPI write in an exclusive
+byte-range lock covering the process's whole file-view extent (Section 3.2 of
+the paper).  This module provides the lock service: shared read locks,
+exclusive write locks, blocking acquisition, and — because performance is
+measured in virtual time — propagation of the *virtual* release time of a
+conflicting lock to the waiting client, so lock-induced serialisation shows
+up in the measured bandwidth.
+
+The manager is "central" in the paper's sense: every acquisition pays one
+round trip to the manager (``request_latency``), and conflicting requests are
+granted strictly one at a time.  The GPFS-style distributed variant lives in
+:mod:`repro.fs.tokens`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.intervals import Interval
+from .errors import InvalidRequest, LockViolation
+
+__all__ = ["LockMode", "GrantedLock", "CentralLockManager"]
+
+
+class LockMode:
+    """Lock modes: shared (read) and exclusive (write)."""
+
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class GrantedLock:
+    """A currently-held byte-range lock."""
+
+    lock_id: int
+    owner: int
+    interval: Interval
+    mode: str
+    #: Virtual time at which the lock was granted.
+    granted_at: float = 0.0
+    #: Virtual time at which the lock was released (filled in on release).
+    released_at: Optional[float] = field(default=None, compare=False)
+
+    def conflicts_with(self, interval: Interval, mode: str, owner: int) -> bool:
+        """True when a new request by ``owner`` for ``interval``/``mode``
+        cannot coexist with this granted lock."""
+        if owner == self.owner:
+            return False
+        if not self.interval.overlaps(interval):
+            return False
+        return self.mode == LockMode.EXCLUSIVE or mode == LockMode.EXCLUSIVE
+
+
+class CentralLockManager:
+    """Blocking byte-range lock manager with virtual-time accounting."""
+
+    def __init__(self, request_latency: float = 0.0) -> None:
+        if request_latency < 0:
+            raise ValueError("request_latency must be non-negative")
+        self.request_latency = request_latency
+        self._granted: Dict[int, GrantedLock] = {}
+        #: Released locks, kept so later acquisitions can be ordered after the
+        #: virtual release time of conflicting locks even when the real-time
+        #: race has already been resolved (see :meth:`acquire`).
+        self._history: List[GrantedLock] = []
+        self._cond = threading.Condition()
+        self._ids = itertools.count(1)
+        self._total_waits = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def held_locks(self) -> List[GrantedLock]:
+        """Snapshot of currently granted locks."""
+        with self._cond:
+            return list(self._granted.values())
+
+    @property
+    def wait_count(self) -> int:
+        """How many acquisitions had to wait for a conflicting lock."""
+        with self._cond:
+            return self._total_waits
+
+    # -- acquisition / release ------------------------------------------------------
+
+    def acquire(
+        self,
+        owner: int,
+        start: int,
+        stop: int,
+        mode: str = LockMode.EXCLUSIVE,
+        now: float = 0.0,
+        timeout: Optional[float] = 60.0,
+    ) -> Tuple[GrantedLock, float]:
+        """Acquire a byte-range lock, blocking while conflicting locks are held.
+
+        Parameters
+        ----------
+        owner:
+            Requesting client id (MPI rank in this library).
+        start, stop:
+            Half-open byte range to lock.
+        mode:
+            :data:`LockMode.SHARED` or :data:`LockMode.EXCLUSIVE`.
+        now:
+            The requester's current virtual time.
+        timeout:
+            Real-time safety net in seconds.
+
+        Returns
+        -------
+        (lock, grant_time):
+            The granted lock and the virtual time at which it was granted —
+            at least ``now + request_latency``, and no earlier than the
+            virtual release time of any conflicting lock that had to be
+            waited for.
+        """
+        if mode not in (LockMode.SHARED, LockMode.EXCLUSIVE):
+            raise InvalidRequest(f"unknown lock mode {mode!r}")
+        if start < 0 or stop < start:
+            raise InvalidRequest(f"invalid lock range [{start}, {stop})")
+        interval = Interval(start, stop)
+        waited = False
+        with self._cond:
+            while True:
+                conflicts = [
+                    g for g in self._granted.values()
+                    if g.conflicts_with(interval, mode, owner)
+                ]
+                if not conflicts:
+                    break
+                waited = True
+                if not self._cond.wait(timeout=timeout):
+                    raise TimeoutError(
+                        f"lock acquisition for [{start},{stop}) by {owner} timed out"
+                    )
+            if waited:
+                self._total_waits += 1
+            # The grant cannot happen, in virtual time, before the virtual
+            # release of any conflicting lock that has already been released —
+            # even if, in real (thread-scheduling) time, the conflict was over
+            # before this request arrived.  This is what turns lock contention
+            # into virtual-time serialisation.
+            prior_releases = [
+                g.released_at
+                for g in self._history
+                if g.released_at is not None and g.conflicts_with(interval, mode, owner)
+            ]
+            grant_time = max([now] + prior_releases) + self.request_latency
+            lock = GrantedLock(
+                lock_id=next(self._ids),
+                owner=owner,
+                interval=interval,
+                mode=mode,
+                granted_at=grant_time,
+            )
+            self._granted[lock.lock_id] = lock
+            return lock, grant_time
+
+    def release(self, lock: GrantedLock, now: float = 0.0) -> None:
+        """Release a previously granted lock at virtual time ``now``."""
+        with self._cond:
+            if lock.lock_id not in self._granted:
+                raise LockViolation(f"lock {lock.lock_id} is not held")
+            stored = self._granted.pop(lock.lock_id)
+            stored.released_at = now
+            # Keep the caller's object in sync so waiters polling either see it.
+            lock.released_at = now
+            self._history.append(stored)
+            self._cond.notify_all()
+
+    def release_all(self, owner: int, now: float = 0.0) -> int:
+        """Release every lock held by ``owner``; returns how many."""
+        with self._cond:
+            mine = [g for g in self._granted.values() if g.owner == owner]
+            for g in mine:
+                del self._granted[g.lock_id]
+                g.released_at = now
+                self._history.append(g)
+            if mine:
+                self._cond.notify_all()
+            return len(mine)
+
+    def reset_history(self) -> None:
+        """Forget released-lock history (between benchmark repetitions)."""
+        with self._cond:
+            self._history.clear()
+            self._total_waits = 0

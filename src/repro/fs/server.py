@@ -1,0 +1,75 @@
+"""I/O server model.
+
+An :class:`IOServer` is one storage target of the parallel file system.  It
+is purely a *performance* entity: the actual bytes live in the shared
+:class:`~repro.fs.storage.ByteStore` of the file (so correctness does not
+depend on the striping arithmetic), while the server tracks virtual-time
+occupancy through a :class:`~repro.fs.costmodel.Resource` so concurrent
+clients share its bandwidth and queue behind one another.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .costmodel import CostModel, Resource
+
+__all__ = ["IOServer", "ServerPool"]
+
+
+class IOServer:
+    """A single I/O server with latency/bandwidth limits."""
+
+    def __init__(self, index: int, cost: CostModel) -> None:
+        self.index = index
+        self.resource = Resource(f"ioserver-{index}", cost)
+
+    def transfer(self, start: float, nbytes: int) -> float:
+        """Charge a transfer of ``nbytes`` beginning no earlier than
+        ``start``; returns the virtual completion time."""
+        return self.resource.reserve(start, nbytes)
+
+    @property
+    def busy_time(self) -> float:
+        """Accumulated virtual busy time."""
+        return self.resource.busy_time
+
+    @property
+    def request_count(self) -> int:
+        """Number of transfers served."""
+        return self.resource.request_count
+
+    def reset(self) -> None:
+        """Clear virtual-time accounting."""
+        self.resource.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IOServer({self.index})"
+
+
+class ServerPool:
+    """The set of I/O servers backing a file system."""
+
+    def __init__(self, num_servers: int, cost: CostModel) -> None:
+        if num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        self.servers: List[IOServer] = [IOServer(i, cost) for i in range(num_servers)]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __getitem__(self, index: int) -> IOServer:
+        return self.servers[index]
+
+    def aggregate_busy_time(self) -> float:
+        """Sum of busy time over all servers."""
+        return sum(s.busy_time for s in self.servers)
+
+    def total_requests(self) -> int:
+        """Total number of transfers served by the pool."""
+        return sum(s.request_count for s in self.servers)
+
+    def reset(self) -> None:
+        """Clear accounting on every server."""
+        for s in self.servers:
+            s.reset()

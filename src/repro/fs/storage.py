@@ -1,0 +1,143 @@
+"""In-memory backing store with per-byte writer provenance.
+
+:class:`ByteStore` holds the bytes of one file plus, for every byte, the id
+of the writer that last stored it.  Provenance is what makes MPI-atomicity
+*verifiable*: after a concurrent overlapping write the checker in
+:mod:`repro.verify.atomicity` can ask, for every overlapped region, whether
+all of its bytes came from a single writer — the definition of the MPI atomic
+mode — without having to rely on recognisable data patterns.
+
+The store itself is protected by a lock and each individual update is applied
+atomically, which models a POSIX-compliant file system where every single
+``write()`` call is atomic (Section 2.1 of the paper).  MPI-level atomicity
+violations remain perfectly observable because they arise from the
+*interleaving of multiple calls*, never from a single call being torn.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ByteStore", "NO_WRITER"]
+
+#: Provenance value for bytes never written.
+NO_WRITER = -1
+
+
+class ByteStore:
+    """Growable byte storage with writer provenance.
+
+    Parameters
+    ----------
+    initial_capacity:
+        Bytes to pre-allocate; the store grows geometrically as needed.
+    """
+
+    def __init__(self, initial_capacity: int = 4096) -> None:
+        if initial_capacity < 0:
+            raise ValueError("initial_capacity must be non-negative")
+        cap = max(16, int(initial_capacity))
+        self._data = np.zeros(cap, dtype=np.uint8)
+        self._writer = np.full(cap, NO_WRITER, dtype=np.int32)
+        self._size = 0
+        self._lock = threading.Lock()
+
+    # -- internal -------------------------------------------------------------
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = self._data.shape[0]
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        data = np.zeros(new_cap, dtype=np.uint8)
+        writer = np.full(new_cap, NO_WRITER, dtype=np.int32)
+        data[: self._size] = self._data[: self._size]
+        writer[: self._size] = self._writer[: self._size]
+        self._data = data
+        self._writer = writer
+
+    # -- API -------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Current file size in bytes (highest byte ever written + 1)."""
+        with self._lock:
+            return self._size
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview | np.ndarray,
+              writer: int = NO_WRITER) -> int:
+        """Atomically store ``data`` at ``offset``; returns bytes written.
+
+        ``writer`` tags the provenance of every byte written by this call.
+        """
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        buf = np.frombuffer(bytes(data), dtype=np.uint8) if not isinstance(data, np.ndarray) \
+            else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        n = buf.shape[0]
+        if n == 0:
+            return 0
+        with self._lock:
+            end = offset + n
+            self._ensure_capacity(end)
+            self._data[offset:end] = buf
+            self._writer[offset:end] = writer
+            if end > self._size:
+                self._size = end
+            return n
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Atomically read ``nbytes`` starting at ``offset``.
+
+        Bytes beyond the current end of file read as zero, matching the
+        behaviour of a sparse file.
+        """
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+        if nbytes == 0:
+            return b""
+        with self._lock:
+            out = np.zeros(nbytes, dtype=np.uint8)
+            end = min(offset + nbytes, self._size)
+            if end > offset:
+                out[: end - offset] = self._data[offset:end]
+            return out.tobytes()
+
+    def writers(self, offset: int, nbytes: int) -> np.ndarray:
+        """Provenance of each byte in ``[offset, offset + nbytes)``."""
+        if offset < 0 or nbytes < 0:
+            raise ValueError("offset and nbytes must be non-negative")
+        with self._lock:
+            out = np.full(nbytes, NO_WRITER, dtype=np.int32)
+            end = min(offset + nbytes, self._size)
+            if end > offset:
+                out[: end - offset] = self._writer[offset:end]
+            return out
+
+    def distinct_writers(self, offset: int, nbytes: int) -> Tuple[int, ...]:
+        """The set of writers that produced the bytes of the given range,
+        excluding never-written bytes."""
+        w = self.writers(offset, nbytes)
+        vals = np.unique(w)
+        return tuple(int(v) for v in vals if v != NO_WRITER)
+
+    def truncate(self, size: int = 0) -> None:
+        """Shrink (or extend with zeros) the file to ``size`` bytes."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        with self._lock:
+            self._ensure_capacity(size)
+            if size < self._size:
+                self._data[size:self._size] = 0
+                self._writer[size:self._size] = NO_WRITER
+            self._size = size
+
+    def snapshot(self) -> bytes:
+        """The full file contents as bytes."""
+        with self._lock:
+            return self._data[: self._size].tobytes()

@@ -1,0 +1,369 @@
+"""The MPI-IO file object (ROMIO equivalent).
+
+:class:`MPIFile` reproduces the slice of the MPI-IO interface the paper's
+code fragment (Figure 4) exercises, on top of the file system substrate:
+
+* collective ``Open`` / ``Close``
+* ``Set_view`` with an etype/filetype/displacement triple built from the
+  derived-datatype constructors
+* ``Set_atomicity`` / ``Get_atomicity``
+* collective ``Write_all`` / ``Read_all`` and independent ``Write_at`` /
+  ``Read_at`` / ``Write`` / ``Read`` (individual file pointer)
+* ``Sync``
+
+In **atomic mode** the collective write is delegated to one of the paper's
+three strategies (:mod:`repro.core.strategies`); which one is chosen via the
+``atomicity_strategy`` Info hint, an explicit :meth:`set_strategy` call, or
+the file system's best supported default (locking where available — the
+ROMIO behaviour — otherwise process-rank ordering).  In non-atomic mode the
+segments are written independently, which is exactly the situation in which
+overlapping writes may interleave (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.regions import FileRegionSet
+from ..core.strategies import (
+    AtomicityStrategy,
+    LockingStrategy,
+    NoAtomicityStrategy,
+    RankOrderingStrategy,
+    WriteOutcome,
+    strategy_by_name,
+)
+from ..datatypes.datatype import Datatype
+from ..datatypes.pack import pack, unpack
+from ..datatypes.typemap import BasicType
+from ..fs.client import FSClient
+from ..fs.filesystem import ParallelFileSystem
+from ..mpi.comm import Communicator
+from .fileview import FileView
+from .info import Info
+from .modes import MODE_CREATE, MODE_RDONLY, MODE_RDWR, MODE_WRONLY
+
+__all__ = ["MPIFile"]
+
+Buffer = Union[bytes, bytearray, np.ndarray]
+
+
+def _as_bytes(buffer: Buffer, datatype: Optional[Datatype], count: Optional[int]) -> bytes:
+    """Render a user buffer as the contiguous data stream to be written."""
+    if datatype is not None:
+        return pack(buffer, datatype, count if count is not None else 1)
+    if isinstance(buffer, np.ndarray):
+        return np.ascontiguousarray(buffer).tobytes()
+    return bytes(buffer)
+
+
+class MPIFile:
+    """An open MPI file handle for one rank."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        filename: str,
+        fs: ParallelFileSystem,
+        amode: int,
+        info: Optional[Info] = None,
+    ) -> None:
+        self.comm = comm
+        self.filename = filename
+        self.fs = fs
+        self.amode = amode
+        self.info = info.copy() if info is not None else Info()
+        self._client = FSClient(fs, client_id=comm.rank, clock=comm.clock)
+        self._handle = self._client.open(filename, create=bool(amode & MODE_CREATE) or True)
+        self._view = FileView.default()
+        self._atomic = False
+        self._strategy: Optional[AtomicityStrategy] = None
+        self._position = 0  # individual file pointer, in etypes
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @classmethod
+    def Open(  # noqa: N802 - MPI spelling
+        cls,
+        comm: Communicator,
+        filename: str,
+        fs: ParallelFileSystem,
+        amode: int = MODE_RDWR | MODE_CREATE,
+        info: Optional[Info] = None,
+    ) -> "MPIFile":
+        """Collectively open ``filename`` on ``fs``; all ranks must call."""
+        f = cls(comm, filename, fs, amode, info)
+        comm.barrier()
+        return f
+
+    def Close(self) -> None:  # noqa: N802 - MPI spelling
+        """Collectively close the file (flushes write-behind data)."""
+        if not self._closed:
+            self._handle.close()
+            self._closed = True
+        self.comm.barrier()
+
+    close = Close
+
+    # -- view management -----------------------------------------------------------
+
+    def Set_view(  # noqa: N802 - MPI spelling
+        self,
+        disp: int,
+        etype: Union[Datatype, BasicType],
+        filetype: Union[Datatype, BasicType, None] = None,
+        datarep: str = "native",
+        info: Optional[Info] = None,
+    ) -> None:
+        """Set this process's file view (``MPI_File_set_view``)."""
+        if datarep != "native":
+            raise NotImplementedError("only the 'native' data representation is supported")
+        if info is not None:
+            for key in info.keys():
+                self.info.set(key, info.get(key))
+        self._view = FileView.create(disp, etype, filetype if filetype is not None else etype)
+        self._position = 0
+
+    set_view = Set_view
+
+    @property
+    def view(self) -> FileView:
+        """The current file view."""
+        return self._view
+
+    # -- atomicity ---------------------------------------------------------------------
+
+    def Set_atomicity(self, flag: bool) -> None:  # noqa: N802 - MPI spelling
+        """Enable or disable MPI atomic mode (collective)."""
+        self._atomic = bool(flag)
+        self.comm.barrier()
+
+    set_atomicity = Set_atomicity
+
+    def Get_atomicity(self) -> bool:  # noqa: N802 - MPI spelling
+        """Whether atomic mode is enabled."""
+        return self._atomic
+
+    get_atomicity = Get_atomicity
+
+    def set_strategy(self, strategy: Union[str, AtomicityStrategy]) -> None:
+        """Choose the atomicity strategy used by collective writes."""
+        if isinstance(strategy, str):
+            strategy = strategy_by_name(strategy)
+        self._strategy = strategy
+
+    def effective_strategy(self) -> AtomicityStrategy:
+        """The strategy that an atomic collective write will use."""
+        if self._strategy is not None:
+            return self._strategy
+        hint = self.info.get("atomicity_strategy")
+        if hint:
+            return strategy_by_name(hint)
+        # ROMIO's default is byte-range locking; fall back to rank ordering on
+        # file systems (ENFS) that provide no locks.
+        if self.fs.config.supports_locking():
+            return LockingStrategy()
+        return RankOrderingStrategy()
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _region_for(self, nbytes: int, etype_position: int) -> FileRegionSet:
+        segments = self._view.segments_for(
+            nbytes, stream_position=etype_position * self._view.etype_size
+        )
+        return FileRegionSet(self.comm.rank, segments)
+
+    def _data_stream_size(self, buffer: Buffer, datatype: Optional[Datatype], count: Optional[int]) -> int:
+        if datatype is not None:
+            return datatype.size * (count if count is not None else 1)
+        if isinstance(buffer, np.ndarray):
+            return buffer.nbytes
+        return len(buffer)
+
+    # -- collective data access ------------------------------------------------------------
+
+    def Write_all(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> WriteOutcome:
+        """Collective write at the individual file pointer.
+
+        In atomic mode the write is carried out by the configured atomicity
+        strategy; in non-atomic mode each file segment is written
+        independently (no coordination).
+        """
+        self._check_writable()
+        data = _as_bytes(buffer, datatype, count)
+        region = self._region_for(len(data), self._position)
+        if self._atomic:
+            strategy = self.effective_strategy()
+        else:
+            strategy = NoAtomicityStrategy()
+        outcome = strategy.execute_write(self.comm, self._handle, region, data)
+        self._position += len(data) // self._view.etype_size
+        return outcome
+
+    write_all = Write_all
+
+    def Read_all(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> int:
+        """Collective read at the individual file pointer into ``buffer``."""
+        self._check_readable()
+        nbytes = self._data_stream_size(buffer, datatype, count)
+        region = self._region_for(nbytes, self._position)
+        if self._atomic:
+            # Fresh data: drop cached pages that peers may have overwritten.
+            self._handle.invalidate()
+        self.comm.barrier()
+        stream = bytearray()
+        for _, file_off, length in region.buffer_map():
+            stream.extend(self._handle.read(file_off, length))
+        self._scatter_into(buffer, bytes(stream), datatype, count)
+        self._position += nbytes // self._view.etype_size
+        self.comm.barrier()
+        return len(stream)
+
+    read_all = Read_all
+
+    # -- independent data access -----------------------------------------------------------
+
+    def Write_at(  # noqa: N802 - MPI spelling
+        self,
+        offset_etypes: int,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> int:
+        """Independent write at an explicit etype offset within the view.
+
+        Independent writes cannot coordinate with unknown peers, so in atomic
+        mode they always use byte-range locking (the only correct option the
+        paper identifies for non-collective I/O); on lock-less file systems
+        atomic independent writes raise ``LockingUnsupported``.
+        """
+        self._check_writable()
+        data = _as_bytes(buffer, datatype, count)
+        region = self._region_for(len(data), offset_etypes)
+        if self._atomic and not region.is_empty():
+            extent = region.extent()
+            lock = self._handle.lock(extent.start, extent.stop)
+            try:
+                written = self._write_region(region, data, direct=True)
+            finally:
+                self._handle.unlock(lock)
+        else:
+            written = self._write_region(region, data, direct=False)
+        return written
+
+    write_at = Write_at
+
+    def Read_at(  # noqa: N802 - MPI spelling
+        self,
+        offset_etypes: int,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> int:
+        """Independent read at an explicit etype offset within the view."""
+        self._check_readable()
+        nbytes = self._data_stream_size(buffer, datatype, count)
+        region = self._region_for(nbytes, offset_etypes)
+        if self._atomic:
+            self._handle.invalidate()
+        stream = bytearray()
+        for _, file_off, length in region.buffer_map():
+            stream.extend(self._handle.read(file_off, length))
+        self._scatter_into(buffer, bytes(stream), datatype, count)
+        return len(stream)
+
+    read_at = Read_at
+
+    def Write(self, buffer: Buffer, count: Optional[int] = None,
+              datatype: Optional[Datatype] = None) -> int:  # noqa: N802
+        """Independent write at the individual file pointer."""
+        data_len = self._data_stream_size(buffer, datatype, count)
+        written = self.Write_at(self._position, buffer, count, datatype)
+        self._position += data_len // self._view.etype_size
+        return written
+
+    def Read(self, buffer: Buffer, count: Optional[int] = None,
+             datatype: Optional[Datatype] = None) -> int:  # noqa: N802
+        """Independent read at the individual file pointer."""
+        data_len = self._data_stream_size(buffer, datatype, count)
+        nread = self.Read_at(self._position, buffer, count, datatype)
+        self._position += data_len // self._view.etype_size
+        return nread
+
+    # -- pointer and sync ----------------------------------------------------------------------
+
+    def Seek(self, offset_etypes: int) -> None:  # noqa: N802 - MPI spelling
+        """Position the individual file pointer (in etypes)."""
+        if offset_etypes < 0:
+            raise ValueError("file pointer cannot be negative")
+        self._position = offset_etypes
+
+    seek = Seek
+
+    def Tell(self) -> int:  # noqa: N802 - MPI spelling
+        """Current individual file pointer (in etypes)."""
+        return self._position
+
+    tell = Tell
+
+    def Sync(self) -> None:  # noqa: N802 - MPI spelling
+        """Collective flush of write-behind data (``MPI_File_sync``)."""
+        self._handle.sync()
+        self.comm.barrier()
+
+    sync = Sync
+
+    def Get_size(self) -> int:  # noqa: N802 - MPI spelling
+        """Current file size in bytes."""
+        return self._handle.size
+
+    # -- internals ---------------------------------------------------------------------------------
+
+    def _write_region(self, region: FileRegionSet, data: bytes, direct: bool) -> int:
+        written = 0
+        for buf_off, file_off, length in region.buffer_map():
+            written += self._handle.write(file_off, data[buf_off : buf_off + length], direct=direct)
+        return written
+
+    def _scatter_into(
+        self, buffer: Buffer, stream: bytes, datatype: Optional[Datatype], count: Optional[int]
+    ) -> None:
+        if datatype is not None:
+            if isinstance(buffer, (bytes,)):
+                raise TypeError("cannot read into an immutable bytes object")
+            unpack(stream, datatype, buffer, count if count is not None else 1)
+            return
+        if isinstance(buffer, np.ndarray):
+            flat = buffer.reshape(-1).view(np.uint8)
+            src = np.frombuffer(stream, dtype=np.uint8)
+            flat[: len(src)] = src
+            return
+        if isinstance(buffer, bytearray):
+            buffer[: len(stream)] = stream
+            return
+        raise TypeError(f"cannot read into buffer of type {type(buffer).__name__}")
+
+    def _check_writable(self) -> None:
+        if self._closed:
+            raise ValueError("file is closed")
+        if self.amode & MODE_RDONLY and not (self.amode & (MODE_WRONLY | MODE_RDWR)):
+            raise PermissionError("file was opened read-only")
+
+    def _check_readable(self) -> None:
+        if self._closed:
+            raise ValueError("file is closed")
+        if self.amode & MODE_WRONLY and not (self.amode & (MODE_RDONLY | MODE_RDWR)):
+            raise PermissionError("file was opened write-only")

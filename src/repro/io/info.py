@@ -1,0 +1,68 @@
+"""MPI Info hints (``MPI_Info``).
+
+A thin string-to-string dictionary with the usual ``set``/``get``/``keys``
+interface plus typed accessors for the hints this library understands:
+
+``atomicity_strategy``
+    Which strategy :class:`repro.io.file.MPIFile` uses in atomic mode
+    (``"locking"``, ``"graph-coloring"``, ``"rank-ordering"``).  When absent,
+    the file picks the file system's best supported default.
+``cb_buffer_size`` / ``striping_unit`` etc.
+    Accepted and stored for API compatibility; unknown hints are ignored, as
+    MPI requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+__all__ = ["Info"]
+
+
+class Info:
+    """A dictionary of string hints."""
+
+    def __init__(self, initial: Optional[Dict[str, str]] = None) -> None:
+        self._data: Dict[str, str] = {}
+        if initial:
+            for key, value in initial.items():
+                self.set(key, value)
+
+    def set(self, key: str, value: str) -> None:
+        """Store a hint (keys and values are coerced to ``str``)."""
+        self._data[str(key)] = str(value)
+
+    def get(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Fetch a hint or ``default``."""
+        return self._data.get(str(key), default)
+
+    def delete(self, key: str) -> None:
+        """Remove a hint if present."""
+        self._data.pop(str(key), None)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over hint names."""
+        return iter(sorted(self._data))
+
+    def __contains__(self, key: str) -> bool:
+        return str(key) in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def copy(self) -> "Info":
+        """A shallow copy."""
+        return Info(dict(self._data))
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        """Fetch a hint converted to ``int`` (``default`` on absence/garbage)."""
+        raw = self.get(key)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError:
+            return default
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Info({self._data!r})"

@@ -1,0 +1,38 @@
+"""MPI-IO file access mode flags (``MPI_MODE_*``)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MODE_RDONLY",
+    "MODE_WRONLY",
+    "MODE_RDWR",
+    "MODE_CREATE",
+    "MODE_EXCL",
+    "MODE_DELETE_ON_CLOSE",
+    "MODE_APPEND",
+    "describe_mode",
+]
+
+MODE_RDONLY = 0x01
+MODE_WRONLY = 0x02
+MODE_RDWR = 0x04
+MODE_CREATE = 0x08
+MODE_EXCL = 0x10
+MODE_DELETE_ON_CLOSE = 0x20
+MODE_APPEND = 0x40
+
+_NAMES = {
+    MODE_RDONLY: "MPI_MODE_RDONLY",
+    MODE_WRONLY: "MPI_MODE_WRONLY",
+    MODE_RDWR: "MPI_MODE_RDWR",
+    MODE_CREATE: "MPI_MODE_CREATE",
+    MODE_EXCL: "MPI_MODE_EXCL",
+    MODE_DELETE_ON_CLOSE: "MPI_MODE_DELETE_ON_CLOSE",
+    MODE_APPEND: "MPI_MODE_APPEND",
+}
+
+
+def describe_mode(mode: int) -> str:
+    """Human-readable ``A|B|C`` rendering of a mode bitmask."""
+    parts = [name for bit, name in _NAMES.items() if mode & bit]
+    return "|".join(parts) if parts else "0"

@@ -1,0 +1,47 @@
+"""Thread-based SPMD MPI runtime simulator.
+
+Provides communicators (point-to-point + collectives), non-blocking
+requests, reduction operators, per-rank virtual clocks and the
+:func:`~repro.mpi.runtime.run_spmd` execution harness.
+"""
+
+from .clock import VirtualClock, synchronize_clocks
+from .comm import CommCostModel, Communicator
+from .errors import (
+    CollectiveMismatchError,
+    CommunicatorError,
+    MPIError,
+    RankError,
+    SPMDExecutionError,
+    TagError,
+)
+from .reduce_ops import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
+from .runtime import SPMDResult, run_spmd
+from .status import ANY_SOURCE, ANY_TAG, Request, Status
+
+__all__ = [
+    "Communicator",
+    "CommCostModel",
+    "VirtualClock",
+    "synchronize_clocks",
+    "run_spmd",
+    "SPMDResult",
+    "Request",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "SUM",
+    "MAX",
+    "MIN",
+    "PROD",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "MPIError",
+    "CommunicatorError",
+    "RankError",
+    "TagError",
+    "CollectiveMismatchError",
+    "SPMDExecutionError",
+]

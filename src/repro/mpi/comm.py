@@ -1,0 +1,387 @@
+"""Communicators: point-to-point and collective operations.
+
+The simulator executes one Python thread per MPI rank
+(:func:`repro.mpi.runtime.run_spmd`).  All ranks of a communicator share a
+single :class:`_CommGroup` — mailboxes for point-to-point messages and a
+rendezvous area for collectives — while each rank holds its own
+:class:`Communicator` facade exposing the familiar API:
+
+* ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``sendrecv``
+* ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
+  ``alltoall``, ``reduce``, ``allreduce``, ``scan``
+* ``split`` / ``dup``
+
+Collectives follow MPI semantics: every rank of the communicator must call
+the same collective in the same order.  Payloads are arbitrary Python
+objects (numpy arrays included); they are passed by reference, so the usual
+MPI rule applies — do not mutate a buffer you have sent.
+
+Virtual-time accounting: each collective synchronises the participating
+ranks' :class:`~repro.mpi.clock.VirtualClock` objects to their maximum and
+optionally charges a latency + volume cost from a
+:class:`CommCostModel`, so the handshaking overhead of the paper's
+negotiation strategies shows up in the measured virtual time.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .clock import VirtualClock
+from .errors import CollectiveMismatchError, CommunicatorError, RankError, TagError
+from .reduce_ops import ReduceOp, SUM
+from .status import ANY_SOURCE, ANY_TAG, Request, Status
+
+__all__ = ["CommCostModel", "Communicator"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Virtual-time cost of communication operations.
+
+    ``latency`` is charged once per operation, ``byte_cost`` per payload byte
+    (only for payloads exposing ``nbytes`` or ``__len__``).  The default model
+    is free communication, which is appropriate when only the I/O time is
+    being studied; the benchmark harness uses a small non-zero model so the
+    negotiation overhead of the handshaking strategies is represented.
+    """
+
+    latency: float = 0.0
+    byte_cost: float = 0.0
+
+    def cost(self, payload: Any = None) -> float:
+        nbytes = 0
+        if payload is not None:
+            nbytes = getattr(payload, "nbytes", None)
+            if nbytes is None:
+                try:
+                    nbytes = len(payload)
+                except TypeError:
+                    nbytes = 0
+        return self.latency + self.byte_cost * float(nbytes)
+
+
+class _Mailbox:
+    """Unbounded per-rank message queue with tag/source matching."""
+
+    def __init__(self) -> None:
+        self._messages: deque = deque()
+        self._cond = threading.Condition()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._cond:
+            self._messages.append((source, tag, payload))
+            self._cond.notify_all()
+
+    def get(self, source: int, tag: int, timeout: Optional[float] = None) -> Tuple[int, int, Any]:
+        """Remove and return the first message matching ``source``/``tag``."""
+
+        def find() -> Optional[Tuple[int, int, Any]]:
+            for i, (src, t, payload) in enumerate(self._messages):
+                if (source == ANY_SOURCE or src == source) and (
+                    tag == ANY_TAG or t == tag
+                ):
+                    del self._messages[i]
+                    return (src, t, payload)
+            return None
+
+        with self._cond:
+            msg = find()
+            while msg is None:
+                if not self._cond.wait(timeout=timeout if timeout else 60.0):
+                    if timeout is not None:
+                        raise TimeoutError(
+                            f"recv(source={source}, tag={tag}) timed out"
+                        )
+                msg = find()
+            return msg
+
+
+class _CommGroup:
+    """State shared by all ranks of one communicator."""
+
+    def __init__(self, size: int, clocks: Optional[List[VirtualClock]] = None,
+                 cost_model: Optional[CommCostModel] = None) -> None:
+        if size <= 0:
+            raise CommunicatorError("communicator size must be positive")
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.op_tags: List[Any] = [None] * size
+        self.error_slot: Optional[BaseException] = None
+        self.clocks = clocks if clocks is not None else [VirtualClock() for _ in range(size)]
+        self.cost_model = cost_model or CommCostModel()
+        self.time_slots: List[float] = [0.0] * size
+
+
+class Communicator:
+    """One rank's view of a communicator (``MPI_Comm``)."""
+
+    def __init__(self, group: _CommGroup, rank: int) -> None:
+        if not 0 <= rank < group.size:
+            raise RankError(f"rank {rank} outside communicator of size {group.size}")
+        self._group = group
+        self._rank = rank
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._group.size
+
+    @property
+    def clock(self) -> VirtualClock:
+        """This rank's virtual clock."""
+        return self._group.clocks[self._rank]
+
+    def Get_rank(self) -> int:  # noqa: N802 - MPI spelling
+        """MPI-style alias for :attr:`rank`."""
+        return self._rank
+
+    def Get_size(self) -> int:  # noqa: N802 - MPI spelling
+        """MPI-style alias for :attr:`size`."""
+        return self._group.size
+
+    # -- point-to-point ----------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise RankError(f"rank {rank} outside communicator of size {self.size}")
+
+    @staticmethod
+    def _check_tag(tag: int) -> None:
+        if tag < 0 and tag != ANY_TAG:
+            raise TagError(f"invalid tag {tag}")
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager send of a Python object to ``dest``."""
+        self._check_rank(dest)
+        if tag < 0:
+            raise TagError(f"invalid send tag {tag}")
+        self.clock.advance(self._group.cost_model.cost(obj))
+        self._group.mailboxes[dest].put(self._rank, tag, obj)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (completes immediately — sends are eager)."""
+        req = Request()
+        try:
+            self.send(obj, dest, tag)
+        except Exception as exc:  # pragma: no cover - defensive
+            req._fail(exc)
+        else:
+            req._complete(None, Status(source=self._rank, tag=tag))
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive; returns the received object."""
+        if source != ANY_SOURCE:
+            self._check_rank(source)
+        self._check_tag(tag)
+        src, t, payload = self._group.mailboxes[self._rank].get(source, tag, timeout)
+        if status is not None:
+            status.source = src
+            status.tag = t
+            status.count = getattr(payload, "nbytes", 0) or 0
+        return payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive backed by a helper thread."""
+        req = Request()
+
+        def worker() -> None:
+            try:
+                status = Status()
+                value = self.recv(source, tag, status=status)
+            except Exception as exc:
+                req._fail(exc)
+            else:
+                req._complete(value, status)
+
+        threading.Thread(target=worker, daemon=True).start()
+        return req
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+    ) -> Any:
+        """Combined send and receive (deadlock-free: the send is eager)."""
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    # -- collectives ---------------------------------------------------------------
+
+    def _collective_sync(self, op_name: str, payload: Any = None) -> None:
+        """Verify all ranks run the same collective and synchronise clocks."""
+        g = self._group
+        g.op_tags[self._rank] = op_name
+        g.time_slots[self._rank] = self.clock.now
+        g.barrier.wait()
+        if self._rank == 0:
+            names = set(g.op_tags)
+            if len(names) != 1:
+                # Leave the flag for every rank to observe before resetting.
+                g.error_slot = CollectiveMismatchError(
+                    f"ranks disagree on collective: {sorted(map(str, names))}"
+                )
+            else:
+                g.error_slot = None
+        g.barrier.wait()
+        err = g.error_slot
+        latest = max(g.time_slots)
+        self.clock.advance_to(latest, waiting=True)
+        self.clock.advance(g.cost_model.cost(payload))
+        g.barrier.wait()
+        if isinstance(err, CollectiveMismatchError):
+            raise err
+
+    def barrier(self) -> None:
+        """Block until every rank reaches the barrier; synchronises clocks."""
+        self._collective_sync("barrier")
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to every rank."""
+        self._check_rank(root)
+        g = self._group
+        if self._rank == root:
+            g.slots[root] = obj
+        self._collective_sync(f"bcast:{root}", obj if self._rank == root else None)
+        value = g.slots[root]
+        g.barrier.wait()
+        return value
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one object per rank at ``root`` (others receive ``None``)."""
+        self._check_rank(root)
+        g = self._group
+        g.slots[self._rank] = obj
+        self._collective_sync(f"gather:{root}", obj)
+        result = list(g.slots) if self._rank == root else None
+        g.barrier.wait()
+        return result
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank at every rank."""
+        g = self._group
+        g.slots[self._rank] = obj
+        self._collective_sync("allgather", obj)
+        result = list(g.slots)
+        g.barrier.wait()
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Scatter ``objs[i]`` from ``root`` to rank ``i``."""
+        self._check_rank(root)
+        g = self._group
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise CommunicatorError(
+                    "scatter requires a sequence of exactly `size` items on the root"
+                )
+            g.slots[root] = list(objs)
+        self._collective_sync(f"scatter:{root}", objs if self._rank == root else None)
+        value = g.slots[root][self._rank]
+        g.barrier.wait()
+        return value
+
+    def alltoall(self, objs: Sequence[Any]) -> List[Any]:
+        """Each rank sends ``objs[j]`` to rank ``j``; receives one item per rank."""
+        if len(objs) != self.size:
+            raise CommunicatorError("alltoall requires exactly `size` items")
+        g = self._group
+        g.slots[self._rank] = list(objs)
+        self._collective_sync("alltoall", objs)
+        result = [g.slots[src][self._rank] for src in range(self.size)]
+        g.barrier.wait()
+        return result
+
+    def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
+        """Reduce one value per rank onto ``root`` using ``op``."""
+        gathered = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        acc = gathered[0]
+        for value in gathered[1:]:
+            acc = op(acc, value)
+        return acc
+
+    def allreduce(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce one value per rank and distribute the result to every rank."""
+        gathered = self.allgather(obj)
+        acc = gathered[0]
+        for value in gathered[1:]:
+            acc = op(acc, value)
+        return acc
+
+    def scan(self, obj: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction over ranks ``0..self.rank``."""
+        gathered = self.allgather(obj)
+        acc = gathered[0]
+        for value in gathered[1 : self._rank + 1]:
+            acc = op(acc, value)
+        return acc
+
+    def exscan(self, obj: Any, op: ReduceOp = SUM) -> Optional[Any]:
+        """Exclusive prefix reduction (``None`` on rank 0)."""
+        gathered = self.allgather(obj)
+        if self._rank == 0:
+            return None
+        acc = gathered[0]
+        for value in gathered[1 : self._rank]:
+            acc = op(acc, value)
+        return acc
+
+    # -- communicator management -----------------------------------------------------
+
+    def split(self, color: int, key: Optional[int] = None) -> "Communicator":
+        """Partition the communicator by ``color``; order new ranks by ``key``.
+
+        Every rank must participate.  Ranks sharing a ``color`` end up in the
+        same new communicator; ``key`` (default: old rank) orders them.
+        """
+        if key is None:
+            key = self._rank
+        info = self.allgather((int(color), int(key), self._rank))
+        # Rank 0 creates one shared group per colour so all ranks agree on
+        # the shared objects, then broadcasts the mapping.
+        if self._rank == 0:
+            groups: Dict[int, Tuple[_CommGroup, List[int]]] = {}
+            for c in sorted({c for c, _, _ in info}):
+                members = sorted(
+                    [(k, r) for cc, k, r in info if cc == c]
+                )
+                ranks = [r for _, r in members]
+                clocks = [self._group.clocks[r] for r in ranks]
+                groups[c] = (
+                    _CommGroup(len(ranks), clocks=clocks, cost_model=self._group.cost_model),
+                    ranks,
+                )
+            mapping = groups
+        else:
+            mapping = None
+        mapping = self.bcast(mapping, root=0)
+        group, ranks = mapping[int(color)]
+        return Communicator(group, ranks.index(self._rank))
+
+    def dup(self) -> "Communicator":
+        """A new communicator with the same membership (``MPI_Comm_dup``)."""
+        return self.split(color=0, key=self._rank)

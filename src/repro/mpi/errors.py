@@ -1,0 +1,50 @@
+"""Exception hierarchy for the MPI runtime simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPIError",
+    "CommunicatorError",
+    "RankError",
+    "TagError",
+    "CollectiveMismatchError",
+    "SPMDExecutionError",
+]
+
+
+class MPIError(Exception):
+    """Base class for all errors raised by the MPI simulator."""
+
+
+class CommunicatorError(MPIError):
+    """Misuse of a communicator (wrong sizes, freed communicator, ...)."""
+
+
+class RankError(MPIError):
+    """A rank argument is outside ``[0, size)``."""
+
+
+class TagError(MPIError):
+    """An invalid message tag was supplied."""
+
+
+class CollectiveMismatchError(MPIError):
+    """Ranks disagreed about the collective operation being performed."""
+
+
+class SPMDExecutionError(MPIError):
+    """One or more ranks raised inside :func:`repro.mpi.runtime.run_spmd`.
+
+    The per-rank exceptions are available in :attr:`failures`, a dict mapping
+    rank to the exception instance raised by that rank.
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first_rank = min(self.failures)
+        first = self.failures[first_rank]
+        super().__init__(
+            f"SPMD execution failed on rank(s) {ranks}; "
+            f"rank {first_rank}: {type(first).__name__}: {first}"
+        )

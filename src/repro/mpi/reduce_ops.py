@@ -1,0 +1,42 @@
+"""Reduction operators for :meth:`Communicator.reduce` / ``allreduce`` / ``scan``.
+
+Operators work on scalars, sequences (element-wise) and numpy arrays, which
+covers everything the library and the examples need (byte counts, timing
+maxima, overlap flags).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["SUM", "MAX", "MIN", "PROD", "LAND", "LOR", "BAND", "BOR", "ReduceOp"]
+
+ReduceOp = Callable[[Any, Any], Any]
+
+
+def _elementwise(op: Callable[[Any, Any], Any]) -> ReduceOp:
+    """Lift a scalar binary op to sequences and numpy arrays."""
+
+    def combine(a: Any, b: Any) -> Any:
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return op(np.asarray(a), np.asarray(b))
+        if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+            if len(a) != len(b):
+                raise ValueError("reduce operands have different lengths")
+            out = [combine(x, y) for x, y in zip(a, b)]
+            return type(a)(out) if isinstance(a, tuple) else out
+        return op(a, b)
+
+    return combine
+
+
+SUM: ReduceOp = _elementwise(lambda a, b: a + b)
+PROD: ReduceOp = _elementwise(lambda a, b: a * b)
+MAX: ReduceOp = _elementwise(lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else max(a, b))
+MIN: ReduceOp = _elementwise(lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) or isinstance(b, np.ndarray) else min(a, b))
+LAND: ReduceOp = _elementwise(lambda a, b: bool(a) and bool(b))
+LOR: ReduceOp = _elementwise(lambda a, b: bool(a) or bool(b))
+BAND: ReduceOp = _elementwise(lambda a, b: a & b)
+BOR: ReduceOp = _elementwise(lambda a, b: a | b)

@@ -1,0 +1,120 @@
+"""SPMD execution harness: one thread per MPI rank.
+
+:func:`run_spmd` is the entry point every example, test and benchmark uses to
+run an "MPI program": it spawns ``nprocs`` threads, hands each a
+:class:`~repro.mpi.comm.Communicator` for the world communicator (plus any
+extra positional/keyword arguments) and collects the per-rank return values.
+
+Exceptions raised by any rank are collected and re-raised as a single
+:class:`~repro.mpi.errors.SPMDExecutionError` after all other ranks have been
+released (a rank stuck in a collective with a crashed peer would otherwise
+deadlock, so the barrier is aborted on failure).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .clock import VirtualClock
+from .comm import CommCostModel, Communicator, _CommGroup
+from .errors import SPMDExecutionError
+
+__all__ = ["SPMDResult", "run_spmd"]
+
+
+@dataclass
+class SPMDResult:
+    """Results of an SPMD run.
+
+    Attributes
+    ----------
+    returns:
+        Per-rank return values of the rank function.
+    clocks:
+        Per-rank virtual clocks as they stood when the rank function
+        returned; ``max(c.now for c in clocks)`` is the virtual makespan.
+    """
+
+    returns: List[Any]
+    clocks: List[VirtualClock]
+
+    @property
+    def nprocs(self) -> int:
+        """Number of ranks that ran."""
+        return len(self.returns)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the slowest rank finished."""
+        return max((c.now for c in self.clocks), default=0.0)
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *args: Any,
+    comm_cost: Optional[CommCostModel] = None,
+    timeout: Optional[float] = 120.0,
+    **kwargs: Any,
+) -> SPMDResult:
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` concurrent ranks.
+
+    Parameters
+    ----------
+    fn:
+        The per-rank function.  Its first argument is the rank's world
+        :class:`~repro.mpi.comm.Communicator`.
+    nprocs:
+        Number of ranks (threads) to run.
+    comm_cost:
+        Optional virtual-time cost model for communication operations.
+    timeout:
+        Wall-clock safety net in seconds per rank join; ``None`` disables it.
+
+    Returns
+    -------
+    SPMDResult
+        Per-rank return values and virtual clocks.
+
+    Raises
+    ------
+    SPMDExecutionError
+        If any rank raised; per-rank exceptions are attached.
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+
+    group = _CommGroup(nprocs, cost_model=comm_cost)
+    returns: List[Any] = [None] * nprocs
+    failures: Dict[int, BaseException] = {}
+    failure_lock = threading.Lock()
+
+    def worker(rank: int) -> None:
+        comm = Communicator(group, rank)
+        try:
+            returns[rank] = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported via SPMDExecutionError
+            with failure_lock:
+                failures[rank] = exc
+            # Release peers blocked in a collective with this rank.
+            group.barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
+        for rank in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            group.barrier.abort()
+            raise SPMDExecutionError(
+                {**failures, -1: TimeoutError(f"rank thread {t.name} did not finish")}
+            )
+
+    if failures:
+        raise SPMDExecutionError(failures)
+    return SPMDResult(returns=returns, clocks=list(group.clocks))

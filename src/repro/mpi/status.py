@@ -1,0 +1,66 @@
+"""Status and request objects for point-to-point communication."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Request"]
+
+#: Wildcard source rank for :meth:`Communicator.recv`.
+ANY_SOURCE = -1
+#: Wildcard message tag for :meth:`Communicator.recv`.
+ANY_TAG = -1
+
+
+@dataclass
+class Status:
+    """Completion information for a receive (``MPI_Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count: int = 0
+
+
+class Request:
+    """Handle for a non-blocking operation (``MPI_Request``).
+
+    The simulator performs the underlying transfer eagerly on a helper
+    mechanism, so :meth:`wait` simply blocks until completion and returns the
+    received object (for receive requests) or ``None`` (for sends).
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._value: Any = None
+        self._status = Status()
+        self._error: Optional[BaseException] = None
+
+    def _complete(self, value: Any = None, status: Optional[Status] = None) -> None:
+        self._value = value
+        if status is not None:
+            self._status = status
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def test(self) -> bool:
+        """True when the operation has completed."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the operation completes; return the received object."""
+        finished = self._event.wait(timeout)
+        if not finished:
+            raise TimeoutError("Request.wait timed out")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def status(self) -> Status:
+        """The completion status (valid after :meth:`wait`)."""
+        return self._status

@@ -1,0 +1,39 @@
+"""Workload and partitioning generators (row/column/block-block, ghost cells)."""
+
+from .partition import (
+    SubarraySpec,
+    block_block_spec,
+    block_block_views,
+    column_wise_spec,
+    column_wise_views,
+    row_wise_spec,
+    row_wise_views,
+    spec_to_segments,
+)
+from .ghost import GhostDecomposition
+from .workloads import (
+    PAPER_ARRAY_SIZES,
+    PAPER_OVERLAP_COLUMNS,
+    PAPER_PROCESS_COUNTS,
+    ColumnWiseWorkload,
+    rank_fill_bytes,
+    rank_pattern_bytes,
+)
+
+__all__ = [
+    "SubarraySpec",
+    "column_wise_spec",
+    "row_wise_spec",
+    "block_block_spec",
+    "column_wise_views",
+    "row_wise_views",
+    "block_block_views",
+    "spec_to_segments",
+    "GhostDecomposition",
+    "ColumnWiseWorkload",
+    "PAPER_ARRAY_SIZES",
+    "PAPER_PROCESS_COUNTS",
+    "PAPER_OVERLAP_COLUMNS",
+    "rank_fill_bytes",
+    "rank_pattern_bytes",
+]

@@ -1,0 +1,143 @@
+"""Ghost-cell decompositions for checkpoint workloads (Figure 1).
+
+The paper motivates concurrent overlapping I/O with the ghost-cell technique:
+each process owns a block of a global array plus a halo of cells replicated
+from its neighbours, and periodic check-pointing writes the *whole* local
+block — halo included — to a shared file, producing overlapping writes.
+
+:class:`GhostDecomposition` packages the bookkeeping one of those
+applications needs: the process grid, each rank's owned block and ghosted
+block, neighbour ranks, the local array shape, and the file view for the
+checkpoint write.  The ``ghost_cell_checkpoint`` example builds directly on
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .partition import SubarraySpec, block_block_spec
+
+__all__ = ["GhostDecomposition"]
+
+
+@dataclass(frozen=True)
+class GhostDecomposition:
+    """A rank's place in a 2-D block-block decomposition with ghost cells.
+
+    Parameters
+    ----------
+    M, N:
+        Global array shape (rows, columns).
+    Pr, Pc:
+        Process grid shape; ``Pr * Pc`` ranks in row-major order.
+    rank:
+        This process's rank.
+    ghost_width:
+        Total overlap ``R`` between neighbouring blocks (``R/2`` cells of halo
+        on each interior side).
+    itemsize:
+        Bytes per array element.
+    """
+
+    M: int
+    N: int
+    Pr: int
+    Pc: int
+    rank: int
+    ghost_width: int = 2
+    itemsize: int = 1
+
+    # -- grid position -------------------------------------------------------------
+
+    @property
+    def grid_coords(self) -> Tuple[int, int]:
+        """(row, column) of this rank in the process grid."""
+        return divmod(self.rank, self.Pc)
+
+    @property
+    def nprocs(self) -> int:
+        """Total number of ranks in the decomposition."""
+        return self.Pr * self.Pc
+
+    def rank_at(self, pr: int, pc: int) -> Optional[int]:
+        """Rank at grid position ``(pr, pc)`` or ``None`` outside the grid."""
+        if 0 <= pr < self.Pr and 0 <= pc < self.Pc:
+            return pr * self.Pc + pc
+        return None
+
+    def neighbors(self) -> Dict[str, int]:
+        """The up-to-8 neighbouring ranks, keyed by compass direction."""
+        pr, pc = self.grid_coords
+        candidates = {
+            "north": (pr - 1, pc),
+            "south": (pr + 1, pc),
+            "west": (pr, pc - 1),
+            "east": (pr, pc + 1),
+            "northwest": (pr - 1, pc - 1),
+            "northeast": (pr - 1, pc + 1),
+            "southwest": (pr + 1, pc - 1),
+            "southeast": (pr + 1, pc + 1),
+        }
+        out: Dict[str, int] = {}
+        for direction, (r, c) in candidates.items():
+            neighbor = self.rank_at(r, c)
+            if neighbor is not None:
+                out[direction] = neighbor
+        return out
+
+    # -- file view ----------------------------------------------------------------------
+
+    def ghosted_spec(self) -> SubarraySpec:
+        """Subarray spec of the ghosted block (what a checkpoint writes)."""
+        return block_block_spec(
+            self.M, self.N, self.Pr, self.Pc, self.rank, self.ghost_width, self.itemsize
+        )
+
+    def owned_spec(self) -> SubarraySpec:
+        """Subarray spec of the owned block (no halo)."""
+        return block_block_spec(
+            self.M, self.N, self.Pr, self.Pc, self.rank, 0, self.itemsize
+        )
+
+    def file_segments(self) -> List[Tuple[int, int]]:
+        """Flattened file segments of the ghosted checkpoint write."""
+        return self.ghosted_spec().segments()
+
+    # -- local array ------------------------------------------------------------------------
+
+    def local_shape(self) -> Tuple[int, int]:
+        """Shape of the rank's local (ghosted) array."""
+        return self.ghosted_spec().subsizes
+
+    def make_local_array(self, dtype=np.uint8, fill_with_rank: bool = True) -> np.ndarray:
+        """Allocate the local ghosted array, optionally rank-stamped."""
+        shape = self.local_shape()
+        if fill_with_rank:
+            return np.full(shape, self.rank % 256, dtype=dtype)
+        return np.zeros(shape, dtype=dtype)
+
+    def overlapping_ranks(self) -> List[int]:
+        """Ranks whose ghosted blocks overlap this rank's ghosted block."""
+        if self.ghost_width == 0:
+            return []
+        mine = self.ghosted_spec()
+        my_rows = range(mine.starts[0], mine.starts[0] + mine.subsizes[0])
+        my_cols = range(mine.starts[1], mine.starts[1] + mine.subsizes[1])
+        out: List[int] = []
+        for other in range(self.nprocs):
+            if other == self.rank:
+                continue
+            spec = block_block_spec(
+                self.M, self.N, self.Pr, self.Pc, other, self.ghost_width, self.itemsize
+            )
+            rows = range(spec.starts[0], spec.starts[0] + spec.subsizes[0])
+            cols = range(spec.starts[1], spec.starts[1] + spec.subsizes[1])
+            row_overlap = max(my_rows.start, rows.start) < min(my_rows.stop, rows.stop)
+            col_overlap = max(my_cols.start, cols.start) < min(my_cols.stop, cols.stop)
+            if row_overlap and col_overlap:
+                out.append(other)
+        return out

@@ -1,0 +1,178 @@
+"""2-D array partitioning patterns with ghost overlap (Figures 1 and 3).
+
+The paper's workloads partition a global ``M x N`` array (row-major on disk)
+across ``P`` processes:
+
+* **row-wise** — split along the most significant axis; each process's file
+  view is one contiguous file range, overlapping its neighbours by ``R`` rows;
+* **column-wise** — split along the least significant axis; each process's
+  view is ``M`` non-contiguous file segments (one per row), overlapping its
+  neighbours by ``R`` columns.  This is the pattern of the evaluation;
+* **block-block** — split along both axes with a ghost border of ``R`` cells,
+  the Figure 1 pattern where corner ghost cells are accessed by up to four
+  processes.
+
+Each function returns, per rank, either the flattened file segments
+(``(offset, length)`` pairs, ready for :class:`repro.core.regions.FileRegionSet`)
+or the ``(sizes, subsizes, starts)`` triple to feed
+``MPI_Type_create_subarray`` exactly as the paper's Figure 4 does.
+
+Overlap convention: each process extends its owned span by ``R/2`` cells on
+each interior side, so two neighbouring processes share ``R`` rows/columns,
+matching Section 3.1 ("the sub-arrays partitioned in every two processes with
+consecutive rank id numbers overlap with each other for a few rows/columns").
+Edge processes have ``R/2`` fewer cells than interior ones, as the paper
+notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "SubarraySpec",
+    "column_wise_spec",
+    "row_wise_spec",
+    "block_block_spec",
+    "column_wise_views",
+    "row_wise_views",
+    "block_block_views",
+    "spec_to_segments",
+]
+
+
+@dataclass(frozen=True)
+class SubarraySpec:
+    """The ``MPI_Type_create_subarray`` arguments for one rank's file view."""
+
+    sizes: Tuple[int, int]
+    subsizes: Tuple[int, int]
+    starts: Tuple[int, int]
+    itemsize: int = 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes covered by the sub-array."""
+        return self.subsizes[0] * self.subsizes[1] * self.itemsize
+
+    def segments(self) -> List[Tuple[int, int]]:
+        """Flattened ``(offset, length)`` file segments (row-major storage)."""
+        return spec_to_segments(self)
+
+
+def spec_to_segments(spec: SubarraySpec) -> List[Tuple[int, int]]:
+    """Flatten a 2-D subarray spec into per-row file segments."""
+    M, N = spec.sizes
+    sm, sn = spec.subsizes
+    r0, c0 = spec.starts
+    item = spec.itemsize
+    if sm == 0 or sn == 0:
+        return []
+    out: List[Tuple[int, int]] = []
+    if sn == N and c0 == 0:
+        # Full-width rows collapse to a single contiguous segment.
+        return [((r0 * N) * item, sm * N * item)]
+    for row in range(r0, r0 + sm):
+        out.append(((row * N + c0) * item, sn * item))
+    return out
+
+
+def _split_span(total: int, parts: int, index: int) -> Tuple[int, int]:
+    """Owned (start, stop) of block ``index`` when ``total`` cells are divided
+    into ``parts`` nearly equal consecutive blocks."""
+    base = total // parts
+    extra = total % parts
+    start = index * base + min(index, extra)
+    length = base + (1 if index < extra else 0)
+    return start, start + length
+
+
+def _extend_with_ghost(start: int, stop: int, total: int, index: int, parts: int, R: int) -> Tuple[int, int]:
+    """Extend an owned span by R/2 ghost cells on each interior side."""
+    half = R // 2
+    lo = start - (half if index > 0 else 0)
+    hi = stop + (R - half if index < parts - 1 else 0)
+    return max(lo, 0), min(hi, total)
+
+
+def column_wise_spec(M: int, N: int, P: int, rank: int, R: int = 0, itemsize: int = 1) -> SubarraySpec:
+    """Subarray spec for the column-wise partitioning of Figure 3(b)."""
+    _validate(M, N, P, rank, R, itemsize)
+    if N // P < R:
+        raise ValueError("overlap R must not exceed N/P")
+    start, stop = _split_span(N, P, rank)
+    start, stop = _extend_with_ghost(start, stop, N, rank, P, R)
+    return SubarraySpec(
+        sizes=(M, N), subsizes=(M, stop - start), starts=(0, start), itemsize=itemsize
+    )
+
+
+def row_wise_spec(M: int, N: int, P: int, rank: int, R: int = 0, itemsize: int = 1) -> SubarraySpec:
+    """Subarray spec for the row-wise partitioning of Figure 3(a)."""
+    _validate(M, N, P, rank, R, itemsize)
+    if M // P < R:
+        raise ValueError("overlap R must not exceed M/P")
+    start, stop = _split_span(M, P, rank)
+    start, stop = _extend_with_ghost(start, stop, M, rank, P, R)
+    return SubarraySpec(
+        sizes=(M, N), subsizes=(stop - start, N), starts=(start, 0), itemsize=itemsize
+    )
+
+
+def block_block_spec(
+    M: int, N: int, Pr: int, Pc: int, rank: int, R: int = 0, itemsize: int = 1
+) -> SubarraySpec:
+    """Subarray spec for the block-block ghost-cell partitioning of Figure 1.
+
+    Ranks are laid out row-major on a ``Pr x Pc`` process grid; each process's
+    view is its owned block extended by ``R/2`` ghost cells towards every
+    interior neighbour, so interior edges overlap by ``R`` cells and corner
+    ghost regions are accessed by four processes.
+    """
+    if Pr <= 0 or Pc <= 0:
+        raise ValueError("process grid dimensions must be positive")
+    if rank < 0 or rank >= Pr * Pc:
+        raise ValueError(f"rank {rank} outside process grid {Pr}x{Pc}")
+    if M <= 0 or N <= 0 or itemsize <= 0 or R < 0:
+        raise ValueError("invalid array parameters")
+    pr, pc = divmod(rank, Pc)
+    r_start, r_stop = _split_span(M, Pr, pr)
+    c_start, c_stop = _split_span(N, Pc, pc)
+    r_start, r_stop = _extend_with_ghost(r_start, r_stop, M, pr, Pr, R)
+    c_start, c_stop = _extend_with_ghost(c_start, c_stop, N, pc, Pc, R)
+    return SubarraySpec(
+        sizes=(M, N),
+        subsizes=(r_stop - r_start, c_stop - c_start),
+        starts=(r_start, c_start),
+        itemsize=itemsize,
+    )
+
+
+def column_wise_views(M: int, N: int, P: int, R: int = 0, itemsize: int = 1) -> List[List[Tuple[int, int]]]:
+    """Flattened file segments of every rank for column-wise partitioning."""
+    return [column_wise_spec(M, N, P, rank, R, itemsize).segments() for rank in range(P)]
+
+
+def row_wise_views(M: int, N: int, P: int, R: int = 0, itemsize: int = 1) -> List[List[Tuple[int, int]]]:
+    """Flattened file segments of every rank for row-wise partitioning."""
+    return [row_wise_spec(M, N, P, rank, R, itemsize).segments() for rank in range(P)]
+
+
+def block_block_views(
+    M: int, N: int, Pr: int, Pc: int, R: int = 0, itemsize: int = 1
+) -> List[List[Tuple[int, int]]]:
+    """Flattened file segments of every rank for block-block partitioning."""
+    return [
+        block_block_spec(M, N, Pr, Pc, rank, R, itemsize).segments()
+        for rank in range(Pr * Pc)
+    ]
+
+
+def _validate(M: int, N: int, P: int, rank: int, R: int, itemsize: int) -> None:
+    if M <= 0 or N <= 0 or P <= 0 or itemsize <= 0:
+        raise ValueError("M, N, P and itemsize must be positive")
+    if R < 0:
+        raise ValueError("R must be non-negative")
+    if rank < 0 or rank >= P:
+        raise ValueError(f"rank {rank} outside 0..{P - 1}")

@@ -1,0 +1,17 @@
+"""Post-hoc verification of atomicity guarantees."""
+
+from .atomicity import (
+    AtomicityReport,
+    Violation,
+    check_coverage,
+    check_mpi_atomicity,
+    check_posix_call_atomicity,
+)
+
+__all__ = [
+    "AtomicityReport",
+    "Violation",
+    "check_mpi_atomicity",
+    "check_posix_call_atomicity",
+    "check_coverage",
+]

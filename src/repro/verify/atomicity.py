@@ -1,0 +1,279 @@
+"""Post-hoc verification of MPI and POSIX atomicity.
+
+After a concurrent overlapping write the library can *prove* whether the MPI
+atomic-mode guarantee held, thanks to the per-byte writer provenance kept by
+:class:`repro.fs.storage.ByteStore`:
+
+* **MPI atomicity** (Section 2.2): for every region where two processes'
+  file views overlap, all bytes of that overlapped region must have been
+  produced by a single process.  :func:`check_mpi_atomicity` walks every
+  pairwise overlap and reports any region whose bytes mix writers — the
+  "interleaved" outcome of Figure 2's non-atomic mode.
+
+* **POSIX per-call atomicity** (Section 2.1): each individual contiguous
+  write call must appear entirely or not at all.  The substrate enforces this
+  by construction; :func:`check_posix_call_atomicity` verifies it anyway by
+  checking that every *contiguous written run* within a single-writer segment
+  has a single provenance (useful as a sanity check on the substrate itself
+  and in the failure-injection tests).
+
+* **Coverage**: every byte some process intended to write was written, and
+  was written by one of the processes whose view covers it
+  (:func:`check_coverage`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.intervals import Interval, IntervalSet
+from ..core.regions import FileRegionSet
+from ..fs.storage import NO_WRITER, ByteStore
+
+__all__ = [
+    "Violation",
+    "AtomicityReport",
+    "check_mpi_atomicity",
+    "check_posix_call_atomicity",
+    "check_coverage",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected violation."""
+
+    kind: str
+    interval: Interval
+    detail: str
+
+
+@dataclass
+class AtomicityReport:
+    """Result of a verification pass."""
+
+    ok: bool
+    violations: List[Violation] = field(default_factory=list)
+    overlap_regions_checked: int = 0
+    overlapped_bytes: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.ok:
+            return (
+                f"atomic: OK ({self.overlap_regions_checked} overlap regions, "
+                f"{self.overlapped_bytes} overlapped bytes)"
+            )
+        return (
+            f"atomic: VIOLATED in {len(self.violations)} region(s); first: "
+            f"{self.violations[0].detail}"
+        )
+
+
+def _pairwise_overlaps(regions: Sequence[FileRegionSet]) -> List[Tuple[int, int, IntervalSet]]:
+    out: List[Tuple[int, int, IntervalSet]] = []
+    n = len(regions)
+    for i in range(n):
+        for j in range(i + 1, n):
+            inter = regions[i].overlap_region(regions[j])
+            if not inter.is_empty():
+                out.append((i, j, inter))
+    return out
+
+
+def _elementary_segments(
+    regions: Sequence[FileRegionSet],
+) -> List[Tuple[Interval, Tuple[int, ...]]]:
+    """Split the file into maximal runs with a constant set of covering ranks.
+
+    Returns ``(interval, covering_ranks)`` pairs, only for runs covered by at
+    least one rank.  Within such a run every byte is written (if at all) under
+    identical overlap conditions, which is the granularity at which the MPI
+    atomicity condition must be evaluated.
+    """
+    boundaries: List[int] = []
+    for region in regions:
+        for iv in region.coverage:
+            boundaries.append(iv.start)
+            boundaries.append(iv.stop)
+    cuts = sorted(set(boundaries))
+    out: List[Tuple[Interval, Tuple[int, ...]]] = []
+    for k in range(len(cuts) - 1):
+        lo, hi = cuts[k], cuts[k + 1]
+        covering = tuple(
+            r.rank for r in regions if r.coverage.contains_offset(lo)
+        )
+        if covering:
+            out.append((Interval(lo, hi), covering))
+    return out
+
+
+def _has_cycle(edges: set, nodes: set) -> bool:
+    """Cycle detection (Kahn's algorithm) on a small precedence digraph."""
+    succ: dict = {n: set() for n in nodes}
+    indeg: dict = {n: 0 for n in nodes}
+    for a, b in edges:
+        if b not in succ[a]:
+            succ[a].add(b)
+            indeg[b] += 1
+    queue = [n for n in nodes if indeg[n] == 0]
+    visited = 0
+    while queue:
+        n = queue.pop()
+        visited += 1
+        for m in succ[n]:
+            indeg[m] -= 1
+            if indeg[m] == 0:
+                queue.append(m)
+    return visited != len(nodes)
+
+
+def check_mpi_atomicity(store: ByteStore, regions: Sequence[FileRegionSet]) -> AtomicityReport:
+    """Verify the MPI atomic-mode guarantee for a completed concurrent write.
+
+    MPI atomic mode requires the outcome of concurrent overlapping writes to
+    be *as if* the requests executed in some sequential order.  The checker
+    verifies exactly that:
+
+    1. split the file into elementary runs with a constant covering-rank set;
+    2. within any run covered by two or more ranks, all bytes must carry one
+       writer, and that writer must be one of the covering ranks;
+    3. across runs, "writer *w* beat rank *x* here" induces the ordering
+       constraint *x before w*; the constraints of all runs together must be
+       satisfiable by a single total order (no cycles).  Alternating
+       ownership of the rows of one overlapped region — Figure 2's
+       "interleaved" outcome — produces a cycle and is reported.
+    """
+    report = AtomicityReport(ok=True)
+    order_edges: set = set()
+    participants: set = set()
+    for interval, covering in _elementary_segments(regions):
+        if len(covering) < 2:
+            continue
+        report.overlap_regions_checked += 1
+        report.overlapped_bytes += interval.length
+        participants.update(covering)
+        writers = store.distinct_writers(interval.start, interval.length)
+        if not writers:
+            continue  # unwritten overlap: reported by check_coverage
+        foreign = [w for w in writers if w not in covering]
+        for w in foreign:
+            report.ok = False
+            report.violations.append(
+                Violation(
+                    kind="foreign-writer",
+                    interval=interval,
+                    detail=(
+                        f"bytes [{interval.start},{interval.stop}) overlapped by ranks "
+                        f"{list(covering)} were written by rank {w} whose view does not "
+                        f"cover them"
+                    ),
+                )
+            )
+        own_writers = [w for w in writers if w in covering]
+        if len(own_writers) > 1:
+            report.ok = False
+            report.violations.append(
+                Violation(
+                    kind="interleaved",
+                    interval=interval,
+                    detail=(
+                        f"bytes [{interval.start},{interval.stop}) overlapped by ranks "
+                        f"{list(covering)} contain data from writers {sorted(own_writers)}"
+                    ),
+                )
+            )
+        elif len(own_writers) == 1:
+            winner = own_writers[0]
+            for other in covering:
+                if other != winner:
+                    order_edges.add((other, winner))
+    if participants and _has_cycle(order_edges, participants):
+        report.ok = False
+        report.violations.append(
+            Violation(
+                kind="interleaved",
+                interval=Interval(0, 0),
+                detail=(
+                    "no sequential ordering of the write requests explains the file "
+                    "contents: different parts of the overlapped regions were won by "
+                    "conflicting writers (interleaving across an overlapped region)"
+                ),
+            )
+        )
+    return report
+
+
+def check_posix_call_atomicity(
+    store: ByteStore, written_calls: Sequence[Tuple[int, int, int]]
+) -> AtomicityReport:
+    """Verify that no *individual* write call was torn.
+
+    ``written_calls`` is a sequence of ``(writer, offset, length)`` records of
+    calls whose target range was written by no other process; each such range
+    must carry a single provenance equal to the writer.  (Ranges also written
+    by others are covered by :func:`check_mpi_atomicity` instead.)
+    """
+    report = AtomicityReport(ok=True)
+    for writer, offset, length in written_calls:
+        writers = store.distinct_writers(offset, length)
+        if list(writers) != [writer]:
+            report.ok = False
+            report.violations.append(
+                Violation(
+                    kind="torn-call",
+                    interval=Interval(offset, offset + length),
+                    detail=(
+                        f"write call by {writer} at [{offset},{offset + length}) "
+                        f"shows provenance {list(writers)}"
+                    ),
+                )
+            )
+    return report
+
+
+def check_coverage(store: ByteStore, regions: Sequence[FileRegionSet]) -> AtomicityReport:
+    """Verify that every byte covered by some view was written by a covering rank.
+
+    This catches the failure mode where a coordination strategy drops data —
+    e.g. a rank-ordering implementation that trims too much and leaves holes.
+    """
+    report = AtomicityReport(ok=True)
+    for region in regions:
+        for iv in region.coverage:
+            writers = store.writers(iv.start, iv.length)
+            unwritten = int(np.count_nonzero(writers == NO_WRITER))
+            if unwritten:
+                report.ok = False
+                report.violations.append(
+                    Violation(
+                        kind="unwritten",
+                        interval=iv,
+                        detail=(
+                            f"{unwritten} byte(s) of [{iv.start},{iv.stop}) covered by rank "
+                            f"{region.rank}'s view were never written"
+                        ),
+                    )
+                )
+                continue
+            covering = {r.rank for r in regions if r.coverage.overlaps(IntervalSet.single(iv.start, iv.stop))}
+            foreign = {int(w) for w in np.unique(writers)} - covering
+            if foreign:
+                report.ok = False
+                report.violations.append(
+                    Violation(
+                        kind="foreign-writer",
+                        interval=iv,
+                        detail=(
+                            f"bytes of [{iv.start},{iv.stop}) were written by rank(s) "
+                            f"{sorted(foreign)} whose views do not cover them"
+                        ),
+                    )
+                )
+    return report

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fs.cache import CachePolicy
+from repro.fs.costmodel import CostModel
+from repro.fs.filesystem import FSConfig, LockProtocol, ParallelFileSystem
+
+
+def fast_fs_config(
+    lock_protocol: str = LockProtocol.CENTRAL,
+    num_servers: int = 4,
+    client_caching: bool = True,
+    write_behind: bool = True,
+) -> FSConfig:
+    """A tiny, low-latency file system configuration for functional tests."""
+    return FSConfig(
+        name="testfs",
+        num_servers=num_servers,
+        stripe_size=1024,
+        server_cost=CostModel(latency=1e-6, bandwidth=1e9),
+        client_link_cost=CostModel(latency=1e-6, bandwidth=1e9),
+        lock_protocol=lock_protocol,
+        lock_request_latency=1e-6,
+        token_acquire_latency=2e-6,
+        token_revoke_latency=1e-6,
+        token_local_latency=1e-7,
+        cache_policy=CachePolicy(
+            page_size=256, max_pages=64, read_ahead_pages=1, write_behind=write_behind
+        ),
+        client_caching=client_caching,
+    )
+
+
+@pytest.fixture
+def fast_fs() -> ParallelFileSystem:
+    """A fresh low-latency file system with central locking."""
+    return ParallelFileSystem(fast_fs_config())
+
+
+@pytest.fixture
+def lockless_fs() -> ParallelFileSystem:
+    """A file system without byte-range locking (ENFS-like)."""
+    return ParallelFileSystem(fast_fs_config(lock_protocol=LockProtocol.NONE))
+
+
+@pytest.fixture
+def token_fs() -> ParallelFileSystem:
+    """A file system with GPFS-style distributed locking."""
+    return ParallelFileSystem(fast_fs_config(lock_protocol=LockProtocol.DISTRIBUTED))

@@ -1,0 +1,211 @@
+"""Tests for the analysis formulas, machine presets, results and figures helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analysis import ColumnWiseCase, analyze_regions, estimate_column_wise
+from repro.core.regions import build_region_sets
+from repro.bench.figures import (
+    figure1_ghost_overlap_counts,
+    figure3_partition_summary,
+    figure6_coloring_demo,
+    figure7_rank_ordering_views,
+    figure8_report,
+)
+from repro.bench.machines import ALL_MACHINES, machine_by_name, table1_rows
+from repro.bench.harness import run_column_wise_experiment, strategies_for_machine
+from repro.bench.results import ExperimentRecord, ResultTable, figure8_series, format_table
+from repro.patterns.partition import column_wise_views
+
+
+class TestColumnWiseCaseFormulas:
+    def test_file_bytes(self):
+        case = ColumnWiseCase(M=4096, N=8192, P=4, R=4)
+        assert case.file_bytes == 32 * 1024 * 1024
+
+    def test_overlapped_bytes(self):
+        case = ColumnWiseCase(M=8, N=64, P=4, R=4)
+        assert case.overlapped_bytes == 3 * 4 * 8
+        regions = build_region_sets(column_wise_views(8, 64, 4, 4))
+        measured = analyze_regions(regions)
+        assert measured["overlapped_bytes"] == case.overlapped_bytes
+
+    def test_total_requested_matches_views(self):
+        case = ColumnWiseCase(M=8, N=64, P=4, R=4)
+        regions = build_region_sets(column_wise_views(8, 64, 4, 4))
+        assert sum(r.total_bytes for r in regions) == case.total_requested_bytes
+
+    def test_locked_bytes_nearly_whole_file(self):
+        case = ColumnWiseCase(M=4096, N=8192, P=16, R=4)
+        assert case.locked_bytes_per_process > 0.99 * case.file_bytes
+
+    def test_single_process_degenerate(self):
+        case = ColumnWiseCase(M=8, N=64, P=1, R=4)
+        assert case.overlapped_bytes == 0
+        assert case.locked_bytes_per_process == case.file_bytes
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ColumnWiseCase(M=0, N=1, P=1, R=0)
+        with pytest.raises(ValueError):
+            ColumnWiseCase(M=4, N=16, P=8, R=4)
+
+
+class TestStrategyEstimates:
+    def test_ordering_of_relative_times(self):
+        case = ColumnWiseCase(M=4096, N=32768, P=8, R=4)
+        est = estimate_column_wise(case)
+        assert est["locking"].relative_time() > est["graph-coloring"].relative_time()
+        assert est["graph-coloring"].relative_time() > est["rank-ordering"].relative_time()
+
+    def test_rank_ordering_transfers_least(self):
+        case = ColumnWiseCase(M=128, N=8192, P=8, R=4)
+        est = estimate_column_wise(case)
+        assert est["rank-ordering"].bytes_transferred == case.file_bytes
+        assert est["locking"].bytes_transferred == case.total_requested_bytes
+        assert est["graph-coloring"].parallel_steps == 2
+
+    def test_analyze_regions_rank_ordering_bytes(self):
+        regions = build_region_sets(column_wise_views(8, 64, 4, 4))
+        stats = analyze_regions(regions)
+        assert stats["rank_ordering_bytes"] == 8 * 64
+        assert stats["surrendered_bytes"] == stats["total_requested_bytes"] - 8 * 64
+        assert 0 < stats["mean_extent_lock_fraction"] <= 1.0
+
+
+class TestMachines:
+    def test_table1_contains_three_machines(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert {r["file_system"] for r in rows} == {"ENFS", "XFS", "GPFS"}
+        cplant = next(r for r in rows if r["machine"] == "Cplant")
+        assert cplant["io_servers"] == "12"
+        assert cplant["peak_io_bandwidth"] == "50 MB/s"
+
+    def test_machine_lookup(self):
+        assert machine_by_name("cplant").file_system == "ENFS"
+        assert machine_by_name("GPFS").name == "IBM SP"
+        with pytest.raises(KeyError):
+            machine_by_name("cray")
+
+    def test_strategy_filtering_for_enfs(self):
+        cplant = machine_by_name("Cplant")
+        sp = machine_by_name("IBM SP")
+        all_three = ("locking", "graph-coloring", "rank-ordering")
+        assert strategies_for_machine(cplant, all_three) == ["graph-coloring", "rank-ordering"]
+        assert strategies_for_machine(sp, all_three) == list(all_three)
+
+    def test_configs_buildable(self):
+        for m in ALL_MACHINES:
+            cfg = m.make_fs_config()
+            assert cfg.name == m.file_system
+            assert cfg.supports_locking() == m.supports_locking
+
+
+class TestResultsTable:
+    def _record(self, **kw):
+        base = dict(
+            machine="IBM SP", file_system="GPFS", array_label="32MB", M=64, N=8192,
+            nprocs=4, strategy="locking", bytes_requested=1 << 20, bytes_written=1 << 20,
+            makespan_seconds=0.5, atomic_ok=True,
+        )
+        base.update(kw)
+        return ExperimentRecord(**base)
+
+    def test_bandwidth(self):
+        r = self._record(bytes_requested=2 * 1024 * 1024, makespan_seconds=2.0)
+        assert r.bandwidth_mb_per_s == pytest.approx(1.0)
+
+    def test_filter_and_series(self):
+        table = ResultTable([
+            self._record(strategy="locking", nprocs=4),
+            self._record(strategy="locking", nprocs=8, makespan_seconds=0.4),
+            self._record(strategy="rank-ordering", nprocs=4, makespan_seconds=0.1),
+        ])
+        assert len(table.filter(strategy="locking")) == 2
+        series = figure8_series(table, "IBM SP", "32MB")
+        assert [p for p, _ in series["locking"]] == [4, 8]
+        assert series["rank-ordering"][0][1] > series["locking"][0][1]
+
+    def test_bandwidth_of_unique(self):
+        table = ResultTable([self._record()])
+        assert table.bandwidth_of(strategy="locking") == pytest.approx(2.0)
+        assert table.bandwidth_of(strategy="rank-ordering") is None
+        table.add(self._record())
+        with pytest.raises(ValueError):
+            table.bandwidth_of(strategy="locking")
+
+    def test_format_table(self):
+        table = ResultTable([self._record()])
+        text = table.to_text(title="demo")
+        assert "demo" in text and "locking" in text and "BW (MB/s)" in text
+        assert format_table([], title="empty") == "empty\n(no data)\n"
+
+
+class TestFiguresHelpers:
+    def test_figure1_histogram(self):
+        hist = figure1_ghost_overlap_counts(M=24, N=24, Pr=2, Pc=2, R=2)
+        assert set(hist) == {1, 2, 4}
+        assert sum(hist.values()) == 24 * 24
+
+    def test_figure3_summary(self):
+        rows = figure3_partition_summary(M=64, N=64, P=4, R=4)
+        assert len(rows) == 8
+        row_wise = [r for r in rows if r["pattern"] == "row-wise"]
+        col_wise = [r for r in rows if r["pattern"] == "column-wise"]
+        assert all(r["contiguous"] == "yes" for r in row_wise)
+        assert all(r["contiguous"] == "no" for r in col_wise)
+
+    def test_figure6_demo(self):
+        demo = figure6_coloring_demo(M=8, N=64, P=4, R=4)
+        assert demo["num_colors"] == 2
+        assert demo["colors"] == [0, 1, 0, 1]
+        assert demo["W"].tolist() == [
+            [0, 1, 0, 0],
+            [1, 0, 1, 0],
+            [0, 1, 0, 1],
+            [0, 0, 1, 0],
+        ]
+
+    def test_figure7_views(self):
+        rows = figure7_rank_ordering_views(M=8, N=64, P=4, R=4)
+        assert len(rows) == 4
+        assert rows[3]["bytes surrendered"] == "0"
+        assert int(rows[0]["columns after"]) < int(rows[0]["columns before"])
+
+    def test_figure8_report_renders(self):
+        record = ExperimentRecord(
+            machine="Origin 2000", file_system="XFS", array_label="32MB", M=64, N=8192,
+            nprocs=4, strategy="rank-ordering", bytes_requested=1 << 20,
+            bytes_written=1 << 20, makespan_seconds=0.25, atomic_ok=True,
+        )
+        text = figure8_report(ResultTable([record]))
+        assert "Origin 2000" in text and "rank-ordering" in text and "P=4" in text
+
+
+class TestHarnessSmoke:
+    def test_single_point_record(self):
+        record = run_column_wise_experiment(
+            "XFS", M=16, N=2048, nprocs=4, strategy="rank-ordering", array_label="tiny"
+        )
+        assert record.atomic_ok
+        assert record.strategy == "rank-ordering"
+        assert record.bandwidth_mb_per_s > 0
+        assert record.bytes_written <= record.bytes_requested
+        assert record.overlap_bytes > 0
+
+    def test_locking_point_counts_lock_waits(self):
+        record = run_column_wise_experiment(
+            "XFS", M=16, N=2048, nprocs=4, strategy="locking", array_label="tiny"
+        )
+        assert record.atomic_ok
+        assert record.lock_waits >= 0
+        assert record.phases == 1
+
+    def test_coloring_point_reports_phases(self):
+        record = run_column_wise_experiment(
+            "GPFS", M=16, N=2048, nprocs=4, strategy="graph-coloring", array_label="tiny"
+        )
+        assert record.atomic_ok
+        assert record.phases == 2

@@ -1,0 +1,165 @@
+"""Tests for the greedy graph-coloring algorithm (Figure 5 / Figure 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.coloring import (
+    chromatic_lower_bound,
+    color_groups,
+    greedy_coloring,
+    validate_coloring,
+)
+from repro.core.overlap import OverlapMatrix, build_overlap_matrix
+from repro.core.regions import build_region_sets
+from repro.patterns.partition import block_block_views, column_wise_views
+
+
+def matrix_from_edges(n, edges):
+    m = np.zeros((n, n), dtype=bool)
+    for i, j in edges:
+        m[i, j] = m[j, i] = True
+    return OverlapMatrix(m)
+
+
+class TestGreedyColoring:
+    def test_empty_graph_one_color(self):
+        w = matrix_from_edges(4, [])
+        result = greedy_coloring(w)
+        assert result.num_colors == 1
+        assert set(result.colors) == {0}
+
+    def test_zero_vertices(self):
+        w = matrix_from_edges(0, [])
+        result = greedy_coloring(w)
+        assert result.num_colors == 0
+        assert result.colors == ()
+
+    def test_chain_uses_two_colors(self):
+        w = matrix_from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        result = greedy_coloring(w)
+        assert result.num_colors == 2
+        assert validate_coloring(w, result)
+        # Figure 6: even ranks first, odd ranks second.
+        assert list(result.colors) == [0, 1, 0, 1, 0]
+
+    def test_complete_graph_needs_n_colors(self):
+        n = 5
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        w = matrix_from_edges(n, edges)
+        result = greedy_coloring(w)
+        assert result.num_colors == n
+        assert validate_coloring(w, result)
+
+    def test_triangle_three_colors(self):
+        w = matrix_from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        result = greedy_coloring(w)
+        assert result.num_colors == 3
+
+    def test_custom_order(self):
+        w = matrix_from_edges(3, [(0, 1), (1, 2)])
+        result = greedy_coloring(w, order=[2, 1, 0])
+        assert validate_coloring(w, result)
+
+    def test_bad_order_rejected(self):
+        w = matrix_from_edges(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            greedy_coloring(w, order=[0, 0, 1])
+
+    def test_groups_partition_ranks(self):
+        w = matrix_from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        result = greedy_coloring(w)
+        groups = result.groups()
+        flattened = sorted(r for g in groups for r in g)
+        assert flattened == list(range(6))
+
+    def test_step_of_equals_color(self):
+        w = matrix_from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        result = greedy_coloring(w)
+        for rank in range(4):
+            assert result.step_of(rank) == result.color_of(rank)
+
+
+class TestValidateColoring:
+    def test_detects_adjacent_same_color(self):
+        from repro.core.coloring import ColoringResult
+
+        w = matrix_from_edges(2, [(0, 1)])
+        bad = ColoringResult(colors=(0, 0), num_colors=1)
+        assert not validate_coloring(w, bad)
+
+    def test_detects_wrong_length(self):
+        from repro.core.coloring import ColoringResult
+
+        w = matrix_from_edges(3, [])
+        assert not validate_coloring(w, ColoringResult(colors=(0, 0), num_colors=1))
+
+
+class TestPaperCases:
+    def test_column_wise_is_two_colorable(self):
+        """Figure 6: the column-wise pattern needs exactly 2 colours, with
+        even ranks in the first group and odd ranks in the second."""
+        views = column_wise_views(M=8, N=128, P=8, R=4)
+        w = build_overlap_matrix(build_region_sets(views))
+        result = greedy_coloring(w)
+        assert result.num_colors == 2
+        assert [c for c in result.colors] == [r % 2 for r in range(8)]
+        groups = color_groups(w)
+        assert groups[0] == [0, 2, 4, 6]
+        assert groups[1] == [1, 3, 5, 7]
+
+    def test_block_block_ghost_needs_at_most_four_colors(self):
+        """Figure 1 pattern: 2-D ghost partitioning colours with <= 4 colours."""
+        views = block_block_views(M=32, N=32, Pr=3, Pc=3, R=2)
+        w = build_overlap_matrix(build_region_sets(views))
+        result = greedy_coloring(w)
+        assert validate_coloring(w, result)
+        assert 2 <= result.num_colors <= 4
+
+    def test_chromatic_lower_bound_matches_column_wise(self):
+        views = column_wise_views(M=4, N=64, P=4, R=2)
+        w = build_overlap_matrix(build_region_sets(views))
+        assert chromatic_lower_bound(w) == 2
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_overlap_matrix(draw):
+    n = draw(st.integers(1, 10))
+    m = np.zeros((n, n), dtype=bool)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.booleans()):
+                m[i, j] = m[j, i] = True
+    return OverlapMatrix(m)
+
+
+class TestColoringProperties:
+    @given(random_overlap_matrix())
+    def test_always_valid(self, w):
+        result = greedy_coloring(w)
+        assert validate_coloring(w, result)
+
+    @given(random_overlap_matrix())
+    def test_color_count_bounded_by_max_degree_plus_one(self, w):
+        result = greedy_coloring(w)
+        assert result.num_colors <= w.max_degree() + 1
+
+    @given(random_overlap_matrix())
+    def test_deterministic(self, w):
+        assert greedy_coloring(w) == greedy_coloring(w)
+
+    @given(random_overlap_matrix())
+    def test_groups_are_independent_sets(self, w):
+        result = greedy_coloring(w)
+        for group in result.groups():
+            for idx_a in range(len(group)):
+                for idx_b in range(idx_a + 1, len(group)):
+                    assert not w.matrix[group[idx_a], group[idx_b]]

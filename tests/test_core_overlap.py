@@ -1,0 +1,167 @@
+"""Tests for overlap-matrix construction and pairwise overlap analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet
+from repro.core.overlap import (
+    OverlapMatrix,
+    build_overlap_matrix,
+    conflict_free_groups_are_disjoint,
+    overlapped_bytes_total,
+    pairwise_overlap_regions,
+)
+from repro.core.regions import build_region_sets
+from repro.patterns.partition import column_wise_views
+
+
+def regions_from(views):
+    return build_region_sets(views)
+
+
+class TestOverlapMatrixValidation:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            OverlapMatrix(np.zeros((2, 3), dtype=bool))
+
+    def test_requires_bool(self):
+        with pytest.raises(ValueError):
+            OverlapMatrix(np.zeros((2, 2), dtype=int))
+
+    def test_requires_false_diagonal(self):
+        m = np.zeros((2, 2), dtype=bool)
+        m[0, 0] = True
+        with pytest.raises(ValueError):
+            OverlapMatrix(m)
+
+    def test_requires_symmetry(self):
+        m = np.zeros((2, 2), dtype=bool)
+        m[0, 1] = True
+        with pytest.raises(ValueError):
+            OverlapMatrix(m)
+
+
+class TestBuildOverlapMatrix:
+    def test_chain_overlap(self):
+        # rank i overlaps rank i+1 only (column-wise neighbours).
+        views = [[(0, 10)], [(8, 10)], [(16, 10)]]
+        w = build_overlap_matrix(regions_from(views))
+        assert w.neighbors(0) == [1]
+        assert w.neighbors(1) == [0, 2]
+        assert w.neighbors(2) == [1]
+        assert w.edges() == [(0, 1), (1, 2)]
+
+    def test_no_overlap(self):
+        views = [[(0, 10)], [(10, 10)], [(20, 10)]]
+        w = build_overlap_matrix(regions_from(views))
+        assert not w.has_any_overlap()
+        assert w.max_degree() == 0
+
+    def test_all_overlap(self):
+        views = [[(0, 100)], [(0, 100)], [(0, 100)]]
+        w = build_overlap_matrix(regions_from(views))
+        assert w.max_degree() == 2
+        assert len(w.edges()) == 3
+
+    def test_wrong_rank_order_rejected(self):
+        regions = regions_from([[(0, 10)], [(20, 10)]])
+        with pytest.raises(ValueError):
+            build_overlap_matrix(list(reversed(regions)))
+
+    def test_column_wise_neighbours_only(self):
+        views = column_wise_views(M=8, N=64, P=4, R=4)
+        w = build_overlap_matrix(regions_from(views))
+        for i in range(4):
+            expected = sorted(j for j in (i - 1, i + 1) if 0 <= j < 4)
+            assert w.neighbors(i) == expected
+
+    def test_as_int_matrix(self):
+        views = [[(0, 10)], [(5, 10)]]
+        w = build_overlap_matrix(regions_from(views))
+        assert w.as_int_matrix().tolist() == [[0, 1], [1, 0]]
+
+
+class TestPairwiseOverlapRegions:
+    def test_exact_ranges(self):
+        views = [[(0, 10)], [(6, 10)]]
+        overlaps = pairwise_overlap_regions(regions_from(views))
+        assert overlaps == {(0, 1): IntervalSet([(6, 10)])}
+
+    def test_non_contiguous_overlap(self):
+        views = [[(0, 4), (10, 4)], [(2, 10)]]
+        overlaps = pairwise_overlap_regions(regions_from(views))
+        assert overlaps[(0, 1)] == IntervalSet([(2, 4), (10, 12)])
+
+    def test_empty_when_disjoint(self):
+        views = [[(0, 4)], [(4, 4)]]
+        assert pairwise_overlap_regions(regions_from(views)) == {}
+
+
+class TestOverlappedBytes:
+    def test_simple(self):
+        views = [[(0, 10)], [(5, 10)]]
+        assert overlapped_bytes_total(regions_from(views)) == 5
+
+    def test_triple_overlap_counted_once(self):
+        views = [[(0, 10)], [(0, 10)], [(0, 10)]]
+        assert overlapped_bytes_total(regions_from(views)) == 10
+
+    def test_column_wise_formula(self):
+        M, N, P, R = 8, 64, 4, 4
+        views = column_wise_views(M, N, P, R)
+        # (P-1) overlap zones of R columns, each column appearing in M rows.
+        assert overlapped_bytes_total(regions_from(views)) == (P - 1) * R * M
+
+
+class TestGroupValidation:
+    def test_disjoint_groups_accepted(self):
+        views = [[(0, 10)], [(8, 10)], [(16, 10)]]
+        regions = regions_from(views)
+        assert conflict_free_groups_are_disjoint(regions, [[0, 2], [1]])
+
+    def test_conflicting_group_rejected(self):
+        views = [[(0, 10)], [(8, 10)], [(16, 10)]]
+        regions = regions_from(views)
+        assert not conflict_free_groups_are_disjoint(regions, [[0, 1], [2]])
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+view_lists = st.lists(
+    st.lists(st.tuples(st.integers(0, 200), st.integers(1, 30)), max_size=4),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _dedup_self_overlap(view):
+    """Make a raw segment list valid (no self-overlap) by unioning."""
+    return IntervalSet.from_segments(view).as_segments()
+
+
+class TestOverlapProperties:
+    @given(view_lists)
+    def test_matrix_symmetric_and_consistent(self, raw_views):
+        views = [_dedup_self_overlap(v) for v in raw_views]
+        regions = regions_from(views)
+        w = build_overlap_matrix(regions)
+        m = w.matrix
+        assert np.array_equal(m, m.T)
+        for i in range(len(regions)):
+            for j in range(len(regions)):
+                if i != j:
+                    assert m[i, j] == regions[i].overlaps(regions[j])
+
+    @given(view_lists)
+    def test_pairwise_regions_match_matrix(self, raw_views):
+        views = [_dedup_self_overlap(v) for v in raw_views]
+        regions = regions_from(views)
+        w = build_overlap_matrix(regions)
+        overlaps = pairwise_overlap_regions(regions)
+        assert set(overlaps) == set(w.edges())

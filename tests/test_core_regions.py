@@ -1,0 +1,164 @@
+"""Tests for FileRegionSet (flattened per-process file views)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalSet
+from repro.core.regions import FileRegionSet, build_region_sets
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = FileRegionSet(0, [(0, 10), (20, 10)])
+        assert r.total_bytes == 20
+        assert r.num_segments == 2
+
+    def test_zero_length_segments_dropped(self):
+        r = FileRegionSet(1, [(0, 10), (15, 0), (20, 5)])
+        assert r.segments == ((0, 10), (20, 5))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FileRegionSet(0, [(-1, 5)])
+        with pytest.raises(ValueError):
+            FileRegionSet(0, [(0, -5)])
+
+    def test_self_overlap_rejected(self):
+        # A single MPI request may not write the same byte twice.
+        with pytest.raises(ValueError):
+            FileRegionSet(0, [(0, 10), (5, 10)])
+
+    def test_empty_region(self):
+        r = FileRegionSet(0, [])
+        assert r.is_empty()
+        assert r.extent() is None
+        assert r.extent_bytes() == 0
+
+    def test_build_region_sets_assigns_ranks(self):
+        regions = build_region_sets([[(0, 5)], [(5, 5)], [(10, 5)]])
+        assert [r.rank for r in regions] == [0, 1, 2]
+
+
+class TestQueries:
+    def test_contiguous_detection(self):
+        assert FileRegionSet(0, [(0, 10)]).is_contiguous()
+        assert FileRegionSet(0, [(0, 10), (10, 5)]).is_contiguous()
+        assert not FileRegionSet(0, [(0, 10), (20, 5)]).is_contiguous()
+
+    def test_extent(self):
+        r = FileRegionSet(0, [(10, 5), (100, 10)])
+        assert r.extent() == Interval(10, 110)
+        assert r.extent_bytes() == 100
+
+    def test_overlaps(self):
+        a = FileRegionSet(0, [(0, 10), (20, 10)])
+        b = FileRegionSet(1, [(25, 10)])
+        c = FileRegionSet(2, [(10, 10)])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlap_bytes(self):
+        a = FileRegionSet(0, [(0, 10), (20, 10)])
+        b = FileRegionSet(1, [(5, 20)])
+        assert a.overlap_bytes(b) == 10  # [5,10) and [20,25)
+
+    def test_overlap_region(self):
+        a = FileRegionSet(0, [(0, 10)])
+        b = FileRegionSet(1, [(5, 10)])
+        assert a.overlap_region(b) == IntervalSet([(5, 10)])
+
+
+class TestTrimming:
+    def test_trimmed_removes_range(self):
+        r = FileRegionSet(0, [(0, 10), (20, 10)])
+        trimmed = r.trimmed(IntervalSet([(5, 25)]))
+        assert trimmed.segments == ((0, 5), (25, 5))
+        assert trimmed.rank == 0
+
+    def test_trimmed_noop_for_disjoint(self):
+        r = FileRegionSet(0, [(0, 10)])
+        assert r.trimmed(IntervalSet([(50, 60)])).segments == r.segments
+
+    def test_trimmed_everything(self):
+        r = FileRegionSet(0, [(0, 10)])
+        assert r.trimmed(IntervalSet([(0, 100)])).is_empty()
+
+    def test_restricted_to(self):
+        r = FileRegionSet(0, [(0, 10), (20, 10)])
+        kept = r.restricted_to(IntervalSet([(5, 25)]))
+        assert kept.segments == ((5, 5), (20, 5))
+
+    def test_trim_preserves_segment_order(self):
+        # Segments stay in data-stream order even when split.
+        r = FileRegionSet(0, [(100, 10), (0, 10)])
+        trimmed = r.trimmed(IntervalSet([(105, 106)]))
+        assert trimmed.segments == ((100, 5), (106, 4), (0, 10))
+
+
+class TestBufferMapping:
+    def test_buffer_map(self):
+        r = FileRegionSet(0, [(100, 4), (200, 6)])
+        assert r.buffer_map() == [(0, 100, 4), (4, 200, 6)]
+
+    def test_buffer_map_restricted(self):
+        r = FileRegionSet(0, [(100, 4), (200, 6)])
+        keep = IntervalSet([(102, 203)])
+        # keeps [102,104) from segment 1 (buffer offset 2) and [200,203) from
+        # segment 2 (buffer offset 4).
+        assert r.buffer_map_restricted(keep) == [(2, 102, 2), (4, 200, 3)]
+
+    def test_buffer_map_restricted_full(self):
+        r = FileRegionSet(0, [(0, 5), (10, 5)])
+        assert r.buffer_map_restricted(r.coverage) == r.buffer_map()
+
+    def test_buffer_map_restricted_empty(self):
+        r = FileRegionSet(0, [(0, 5)])
+        assert r.buffer_map_restricted(IntervalSet.empty()) == []
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def disjoint_views(draw):
+    """Random non-self-overlapping segment lists."""
+    n = draw(st.integers(0, 8))
+    offsets = sorted(draw(st.lists(st.integers(0, 400), min_size=n, max_size=n, unique=True)))
+    segments = []
+    prev_end = -1
+    for off in offsets:
+        start = max(off, prev_end + 1)
+        length = draw(st.integers(1, 20))
+        segments.append((start, length))
+        prev_end = start + length
+    return segments
+
+
+class TestRegionProperties:
+    @given(disjoint_views())
+    def test_total_bytes_matches_coverage(self, segments):
+        r = FileRegionSet(0, segments)
+        assert r.total_bytes == r.coverage.total_bytes
+
+    @given(disjoint_views(), disjoint_views())
+    def test_trim_removes_all_overlap(self, a_segs, b_segs):
+        a = FileRegionSet(0, a_segs)
+        b = FileRegionSet(1, b_segs)
+        trimmed = a.trimmed(b.coverage)
+        assert not trimmed.overlaps(b)
+        # Trimmed view is a subset of the original.
+        assert a.coverage.covers(trimmed.coverage)
+
+    @given(disjoint_views())
+    def test_buffer_map_contiguous_stream(self, segments):
+        r = FileRegionSet(0, segments)
+        expected_buf = 0
+        for buf_off, _file_off, length in r.buffer_map():
+            assert buf_off == expected_buf
+            expected_buf += length
+        assert expected_buf == r.total_bytes

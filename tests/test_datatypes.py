@@ -1,0 +1,266 @@
+"""Tests for basic types, the Datatype object and the type constructors."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    Datatype,
+    DatatypeError,
+    ORDER_C,
+    ORDER_FORTRAN,
+    as_datatype,
+    contiguous,
+    from_basic,
+    hindexed,
+    hvector,
+    indexed,
+    indexed_block,
+    resized,
+    struct,
+    subarray,
+    vector,
+)
+from repro.datatypes.typemap import basic_type_by_name
+
+
+class TestBasicTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert CHAR.size == 1
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+
+    def test_lookup_by_name(self):
+        assert basic_type_by_name("MPI_INT") is INT
+        with pytest.raises(KeyError):
+            basic_type_by_name("MPI_BOGUS")
+
+    def test_from_basic_committed(self):
+        dt = from_basic(INT)
+        assert dt.committed
+        assert dt.size == 4
+        assert dt.extent == 4
+        assert dt.is_contiguous()
+
+
+class TestDatatypeObject:
+    def test_build_merges_adjacent(self):
+        dt = Datatype.build([(0, 4), (4, 4), (12, 4)])
+        assert dt.segments == ((0, 8), (12, 4))
+        assert dt.size == 12
+        assert dt.extent == 16
+
+    def test_explicit_bounds(self):
+        dt = Datatype.build([(0, 4)], lb=0, extent=16)
+        assert dt.extent == 16
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DatatypeError):
+            Datatype.build([(0, -1)])
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(DatatypeError):
+            Datatype.build([(0, 4)], extent=-2)
+
+    def test_commit_required(self):
+        dt = contiguous(3, INT)
+        with pytest.raises(DatatypeError):
+            dt.require_committed()
+        dt.commit().require_committed()
+
+    def test_not_contiguous_with_hole(self):
+        dt = Datatype.build([(0, 4), (8, 4)])
+        assert not dt.is_contiguous()
+
+    def test_as_datatype_rejects_garbage(self):
+        with pytest.raises(DatatypeError):
+            as_datatype("not a type")
+
+
+class TestContiguous:
+    def test_simple(self):
+        dt = contiguous(4, INT)
+        assert dt.size == 16
+        assert dt.extent == 16
+        assert dt.segments == ((0, 16),)
+
+    def test_zero_count(self):
+        dt = contiguous(0, INT)
+        assert dt.size == 0
+        assert dt.extent == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            contiguous(-1, INT)
+
+    def test_of_derived_type(self):
+        inner = vector(2, 1, 2, INT)          # 2 ints, stride 2 ints
+        dt = contiguous(2, inner)
+        assert dt.size == 2 * inner.size
+
+
+class TestVector:
+    def test_layout(self):
+        # 3 blocks of 2 ints, stride 4 ints: offsets 0, 16, 32 (bytes), each 8 bytes.
+        dt = vector(3, 2, 4, INT)
+        assert dt.segments == ((0, 8), (16, 8), (32, 8))
+        assert dt.size == 24
+
+    def test_unit_stride_collapses(self):
+        dt = vector(3, 2, 2, INT)
+        assert dt.segments == ((0, 24),)
+
+    def test_hvector_byte_stride(self):
+        dt = hvector(2, 1, 10, INT)
+        assert dt.segments == ((0, 4), (10, 4))
+
+
+class TestIndexed:
+    def test_indexed(self):
+        dt = indexed([2, 1], [0, 4], INT)
+        assert dt.segments == ((0, 8), (16, 4))
+        assert dt.size == 12
+
+    def test_hindexed(self):
+        dt = hindexed([1, 1], [0, 100], INT)
+        assert dt.segments == ((0, 4), (100, 4))
+
+    def test_indexed_block(self):
+        dt = indexed_block(2, [0, 10], INT)
+        assert dt.segments == ((0, 8), (40, 8))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            indexed([1, 2], [0], INT)
+
+    def test_negative_blocklength_rejected(self):
+        with pytest.raises(DatatypeError):
+            hindexed([-1], [0], INT)
+
+
+class TestStruct:
+    def test_heterogeneous(self):
+        dt = struct([1, 2], [0, 8], [INT, DOUBLE])
+        assert dt.segments == ((0, 4), (8, 16))
+        assert dt.size == 20
+
+    def test_length_mismatch(self):
+        with pytest.raises(DatatypeError):
+            struct([1], [0, 8], [INT, DOUBLE])
+
+
+class TestSubarray:
+    def test_figure4_column_block(self):
+        """The paper's Figure 4: a column block of a 2-D char array."""
+        M, N = 8, 32
+        dt = subarray([M, N], [M, 8], [0, 4], CHAR)
+        # M segments of 8 bytes, one per row, N bytes apart.
+        assert dt.num_segments == M
+        assert dt.size == M * 8
+        assert dt.extent == M * N
+        assert dt.segments[0] == (4, 8)
+        assert dt.segments[1] == (N + 4, 8)
+
+    def test_full_width_collapses_rows(self):
+        dt = subarray([4, 10], [2, 10], [1, 0], CHAR)
+        assert dt.segments == ((10, 20),)
+
+    def test_fortran_order(self):
+        # Column-major: a row block becomes strided segments.
+        dt = subarray([4, 10], [2, 10], [1, 0], CHAR, order=ORDER_FORTRAN)
+        assert dt.size == 20
+        assert dt.extent == 40
+        assert dt.num_segments == 10  # one per column in column-major storage
+
+    def test_3d(self):
+        dt = subarray([4, 4, 4], [2, 2, 2], [1, 1, 1], CHAR)
+        assert dt.size == 8
+        assert dt.num_segments == 4
+        assert dt.extent == 64
+
+    def test_element_type_scaling(self):
+        dt = subarray([4, 8], [4, 2], [0, 0], INT)
+        assert dt.size == 4 * 2 * 4
+        assert dt.extent == 4 * 8 * 4
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(DatatypeError):
+            subarray([4, 4], [2, 5], [0, 0], CHAR)
+        with pytest.raises(DatatypeError):
+            subarray([4, 4], [2, 2], [3, 0], CHAR)
+        with pytest.raises(DatatypeError):
+            subarray([4, 4], [2, 2], [0, 0], CHAR, order="X")
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(DatatypeError):
+            subarray([4, 4], [2], [0, 0], CHAR)
+
+    def test_zero_subsize_is_empty(self):
+        dt = subarray([4, 4], [0, 2], [0, 0], CHAR)
+        assert dt.size == 0
+
+    def test_order_c_vs_fortran_same_size(self):
+        c = subarray([6, 5], [3, 2], [1, 1], CHAR, order=ORDER_C)
+        f = subarray([6, 5], [3, 2], [1, 1], CHAR, order=ORDER_FORTRAN)
+        assert c.size == f.size == 6
+
+
+class TestResized:
+    def test_resized_changes_extent_only(self):
+        dt = resized(contiguous(2, INT), lb=0, extent=32)
+        assert dt.size == 8
+        assert dt.extent == 32
+
+    def test_resized_affects_replication(self):
+        base = resized(contiguous(1, INT), lb=0, extent=12)
+        rep = contiguous(3, base)
+        assert rep.segments == ((0, 4), (12, 4), (24, 4))
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+class TestConstructorProperties:
+    @given(st.integers(0, 20), st.integers(1, 8))
+    def test_contiguous_size(self, count, elems):
+        inner = contiguous(elems, CHAR)
+        dt = contiguous(count, inner)
+        assert dt.size == count * elems
+        assert dt.extent == count * inner.extent
+
+    @given(st.integers(0, 10), st.integers(0, 6), st.integers(1, 12))
+    def test_vector_size(self, count, blocklength, stride_extra):
+        stride = blocklength + stride_extra
+        dt = vector(count, blocklength, stride, INT)
+        assert dt.size == count * blocklength * 4
+
+    @given(
+        st.integers(1, 10), st.integers(1, 10),
+        st.integers(1, 6), st.integers(1, 6),
+    )
+    def test_subarray_size_and_extent(self, rows, cols, sub_rows, sub_cols):
+        sub_rows = min(sub_rows, rows)
+        sub_cols = min(sub_cols, cols)
+        dt = subarray([rows, cols], [sub_rows, sub_cols], [0, 0], CHAR)
+        assert dt.size == sub_rows * sub_cols
+        assert dt.extent == rows * cols
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 200)), max_size=8))
+    def test_hindexed_size(self, blocks):
+        lengths = [b for b, _ in blocks]
+        disps = sorted({d for _, d in blocks})
+        # Use distinct displacements spaced widely enough to avoid self-overlap.
+        disps = [i * 1000 for i in range(len(blocks))]
+        dt = hindexed(lengths, disps, INT)
+        assert dt.size == sum(lengths) * 4

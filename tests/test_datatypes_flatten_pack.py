@@ -1,0 +1,208 @@
+"""Tests for datatype flattening and pack/unpack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datatypes import (
+    CHAR,
+    INT,
+    contiguous,
+    flatten,
+    flatten_prefix,
+    hindexed,
+    pack,
+    packed_size,
+    segments_for_bytes,
+    subarray,
+    unpack,
+    vector,
+)
+from repro.datatypes.datatype import Datatype, DatatypeError
+
+
+class TestFlatten:
+    def test_single_copy(self):
+        dt = vector(2, 1, 2, INT)  # (0,4), (8,4)
+        assert flatten(dt) == [(0, 4), (8, 4)]
+
+    def test_count_tiles_at_extent(self):
+        dt = vector(2, 1, 2, INT)  # extent 12: blocks at 0 and 8
+        segs = flatten(dt, count=2)
+        # Second tile starts at byte 12; its first block abuts the previous
+        # tile's last block and the two coalesce into (8, 8).
+        assert segs == [(0, 4), (8, 8), (20, 4)]
+        assert sum(length for _, length in segs) == dt.size * 2
+
+    def test_offset_shifts_everything(self):
+        dt = contiguous(2, INT)
+        assert flatten(dt, count=1, offset=100) == [(100, 8)]
+
+    def test_adjacent_tiles_coalesce(self):
+        dt = contiguous(4, CHAR)
+        assert flatten(dt, count=3) == [(0, 12)]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            flatten(contiguous(1, INT), count=-1)
+
+
+class TestFlattenPrefix:
+    def test_partial_tile(self):
+        dt = vector(2, 1, 2, INT)  # size 8 per tile
+        segs = flatten_prefix(dt, 6)
+        assert segs == [(0, 4), (8, 2)]
+
+    def test_multiple_tiles_partial_last(self):
+        dt = vector(2, 1, 2, INT)  # size 8, extent 12
+        segs = flatten_prefix(dt, 20)
+        # Adjacent runs across tile boundaries coalesce.
+        assert segs == [(0, 4), (8, 8), (20, 8)]
+        assert sum(length for _, length in segs) == 20
+
+    def test_zero_bytes(self):
+        assert flatten_prefix(contiguous(1, INT), 0) == []
+
+    def test_zero_size_type_rejected(self):
+        with pytest.raises(ValueError):
+            flatten_prefix(contiguous(0, INT), 4)
+
+    def test_exactly_covers_requested_bytes(self):
+        dt = subarray([4, 8], [4, 2], [0, 3], CHAR)
+        for nbytes in (1, 3, 8, 10):
+            segs = flatten_prefix(dt, nbytes)
+            assert sum(length for _, length in segs) == nbytes
+
+
+class TestSegmentsForBytes:
+    def test_skip_within_first_segment(self):
+        dt = contiguous(10, CHAR)
+        assert segments_for_bytes(dt, 4, skip_bytes=3) == [(3, 4)]
+
+    def test_skip_across_segments(self):
+        dt = vector(3, 2, 4, CHAR)  # (0,2),(4,2),(8,2)
+        segs = segments_for_bytes(dt, 3, skip_bytes=3)
+        assert segs == [(5, 1), (8, 2)]
+
+    def test_skip_into_next_tile(self):
+        dt = vector(1, 2, 2, CHAR)  # size 2, extent 2... contiguous
+        dt = vector(2, 1, 2, CHAR)  # (0,1),(2,1), size 2, extent 3
+        segs = segments_for_bytes(dt, 2, skip_bytes=2)
+        # data stream: bytes 0->off0, 1->off2, 2->off3(tile1), 3->off5
+        assert segs == [(3, 1), (5, 1)]
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError):
+            segments_for_bytes(contiguous(1, INT), 4, skip_bytes=-1)
+
+
+class TestPackUnpack:
+    def test_pack_strided(self):
+        buf = np.arange(12, dtype=np.uint8)
+        dt = vector(3, 2, 4, CHAR)  # picks bytes 0,1, 4,5, 8,9
+        assert pack(buf, dt) == bytes([0, 1, 4, 5, 8, 9])
+
+    def test_pack_with_count(self):
+        buf = np.arange(8, dtype=np.uint8)
+        dt = contiguous(2, CHAR)
+        assert pack(buf, dt, count=3) == bytes(range(6))
+
+    def test_pack_overrun_rejected(self):
+        buf = np.zeros(4, dtype=np.uint8)
+        dt = contiguous(8, CHAR)
+        with pytest.raises(DatatypeError):
+            pack(buf, dt)
+
+    def test_unpack_roundtrip(self):
+        dt = vector(3, 2, 4, CHAR)
+        src = np.arange(12, dtype=np.uint8)
+        stream = pack(src, dt)
+        dst = np.zeros(12, dtype=np.uint8)
+        unpack(stream, dt, dst)
+        # Packed positions restored, holes remain zero.
+        assert list(dst) == [0, 1, 0, 0, 4, 5, 0, 0, 8, 9, 0, 0]
+
+    def test_unpack_short_stream_rejected(self):
+        dt = contiguous(8, CHAR)
+        with pytest.raises(DatatypeError):
+            unpack(b"ab", dt, bytearray(8))
+
+    def test_unpack_into_bytearray(self):
+        dt = hindexed([2, 2], [0, 6], CHAR)
+        out = bytearray(8)
+        unpack(b"ABCD", dt, out)
+        assert bytes(out) == b"AB\x00\x00\x00\x00CD"
+
+    def test_packed_size(self):
+        dt = vector(3, 2, 4, INT)
+        assert packed_size(dt, 2) == 48
+
+    def test_pack_2d_subarray_matches_numpy_slicing(self):
+        M, N = 6, 10
+        arr = np.arange(M * N, dtype=np.uint8).reshape(M, N)
+        dt = subarray([M, N], [3, 4], [2, 5], CHAR)
+        assert pack(arr, dt) == arr[2:5, 5:9].tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_datatype(draw):
+    """Random hindexed datatype with non-overlapping blocks."""
+    nblocks = draw(st.integers(1, 5))
+    lengths = draw(st.lists(st.integers(0, 8), min_size=nblocks, max_size=nblocks))
+    disps = []
+    pos = 0
+    for length in lengths:
+        pos += draw(st.integers(0, 5))
+        disps.append(pos)
+        pos += length
+    return hindexed(lengths, disps, CHAR)
+
+
+class TestFlattenPackProperties:
+    @given(random_datatype(), st.integers(0, 4))
+    def test_flatten_total_equals_size_times_count(self, dt, count):
+        segs = flatten(dt, count)
+        assert sum(length for _, length in segs) == dt.size * count
+
+    @given(random_datatype(), st.integers(0, 60))
+    def test_flatten_prefix_exact_bytes(self, dt, nbytes):
+        if dt.size == 0:
+            return
+        segs = flatten_prefix(dt, nbytes)
+        assert sum(length for _, length in segs) == nbytes
+
+    @given(random_datatype(), st.integers(1, 3))
+    def test_pack_unpack_identity_on_selected_bytes(self, dt, count):
+        total_extent = dt.lb + dt.extent * count + 8
+        rng = np.random.default_rng(0)
+        src = rng.integers(1, 255, size=total_extent, dtype=np.uint8)
+        stream = pack(src, dt, count)
+        assert len(stream) == dt.size * count
+        dst = np.zeros_like(src)
+        unpack(stream, dt, dst, count)
+        # Every byte selected by the datatype made the round trip.
+        for off, length in flatten(dt, count):
+            assert np.array_equal(dst[off : off + length], src[off : off + length])
+
+    @given(random_datatype(), st.integers(0, 40), st.integers(0, 20))
+    def test_skip_consistency(self, dt, nbytes, skip):
+        if dt.size == 0:
+            return
+        full = flatten_prefix(dt, skip + nbytes)
+        skipped = segments_for_bytes(dt, nbytes, skip_bytes=skip)
+        assert sum(length for _, length in skipped) == nbytes
+        # The skipped variant must be a suffix of the full expansion.
+        def explode(segs):
+            out = []
+            for off, length in segs:
+                out.extend(range(off, off + length))
+            return out
+        assert explode(skipped) == explode(full)[skip:]

@@ -1,0 +1,180 @@
+"""Tests for the client cache (read-ahead, write-behind, invalidation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fs.cache import CachePolicy, ClientCache
+from repro.fs.storage import ByteStore
+
+
+class Backend:
+    """A tiny fetch/store backend with operation counters."""
+
+    def __init__(self) -> None:
+        self.store_obj = ByteStore()
+        self.fetches = 0
+        self.stores = 0
+
+    def fetch(self, offset: int, nbytes: int) -> bytes:
+        self.fetches += 1
+        return self.store_obj.read(offset, nbytes)
+
+    def store(self, offset: int, data: bytes) -> None:
+        self.stores += 1
+        self.store_obj.write(offset, data, writer=0)
+
+
+def make_cache(**policy_kwargs):
+    backend = Backend()
+    policy = CachePolicy(**{"page_size": 16, "max_pages": 8, "read_ahead_pages": 0,
+                            "write_behind": True, **policy_kwargs})
+    return backend, ClientCache(backend.fetch, backend.store, policy)
+
+
+class TestPolicyValidation:
+    def test_invalid_policies(self):
+        with pytest.raises(ValueError):
+            CachePolicy(page_size=0)
+        with pytest.raises(ValueError):
+            CachePolicy(max_pages=0)
+        with pytest.raises(ValueError):
+            CachePolicy(read_ahead_pages=-1)
+
+
+class TestReadCaching:
+    def test_read_hits_after_miss(self):
+        backend, cache = make_cache()
+        backend.store_obj.write(0, b"A" * 64, writer=9)
+        assert cache.read(0, 8) == b"A" * 8
+        misses_after_first = cache.stats.misses
+        assert cache.read(4, 8) == b"A" * 8
+        assert cache.stats.misses == misses_after_first  # second read is a hit
+        assert cache.stats.hits >= 1
+
+    def test_read_spanning_pages(self):
+        backend, cache = make_cache()
+        backend.store_obj.write(0, bytes(range(64)), writer=0)
+        assert cache.read(10, 20) == bytes(range(10, 30))
+
+    def test_read_ahead_prefetches(self):
+        backend, cache = make_cache(read_ahead_pages=2)
+        backend.store_obj.write(0, b"Z" * 256, writer=0)
+        cache.read(0, 4)
+        # Page 0 fetched on demand plus 2 read-ahead pages.
+        assert backend.fetches == 3
+        assert cache.stats.read_ahead_pages == 2
+        # Reading inside the prefetched pages costs no further fetches.
+        cache.read(20, 8)
+        assert backend.fetches == 3
+
+    def test_stale_read_without_invalidation(self):
+        """Cached data hides server updates — the problem the paper's
+        handshaking protocol must solve with explicit invalidation."""
+        backend, cache = make_cache()
+        backend.store_obj.write(0, b"old!", writer=0)
+        assert cache.read(0, 4) == b"old!"
+        backend.store_obj.write(0, b"new!", writer=1)
+        assert cache.read(0, 4) == b"old!"       # stale
+        cache.invalidate()
+        assert cache.read(0, 4) == b"new!"        # fresh after invalidation
+
+    def test_zero_length_read(self):
+        _, cache = make_cache()
+        assert cache.read(5, 0) == b""
+
+    def test_negative_rejected(self):
+        _, cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.read(-1, 4)
+        with pytest.raises(ValueError):
+            cache.write(-1, b"x")
+
+
+class TestWriteBehind:
+    def test_write_deferred_until_flush(self):
+        backend, cache = make_cache()
+        cache.write(0, b"hello")
+        assert backend.stores == 0
+        assert cache.dirty_bytes() == 5
+        flushed = cache.flush()
+        assert flushed == 1
+        assert backend.stores == 1
+        assert backend.store_obj.read(0, 5) == b"hello"
+        assert cache.dirty_bytes() == 0
+
+    def test_write_through_mode(self):
+        backend, cache = make_cache(write_behind=False)
+        cache.write(0, b"hello")
+        assert backend.stores == 1
+        assert backend.store_obj.read(0, 5) == b"hello"
+
+    def test_flush_only_dirty_bytes(self):
+        """Write-back must not write stale neighbouring bytes — that would
+        itself clobber another process's data."""
+        backend, cache = make_cache()
+        backend.store_obj.write(0, b"X" * 16, writer=5)
+        cache.write(4, b"ab")          # dirty only bytes 4..6 of page 0
+        backend.store_obj.write(0, b"Y" * 16, writer=6)  # peer update meanwhile
+        cache.flush()
+        data = backend.store_obj.read(0, 16)
+        assert data == b"YYYYabYYYYYYYYYY"
+
+    def test_read_sees_own_pending_writes(self):
+        backend, cache = make_cache()
+        backend.store_obj.write(0, b"......", writer=0)
+        cache.write(2, b"XY")
+        assert cache.read(0, 6) == b"..XY.."
+
+    def test_write_spanning_pages(self):
+        backend, cache = make_cache()
+        cache.write(12, b"A" * 10)     # spans pages 0 and 1
+        cache.flush()
+        assert backend.store_obj.read(12, 10) == b"A" * 10
+
+    def test_empty_write_noop(self):
+        backend, cache = make_cache()
+        cache.write(0, b"")
+        assert cache.dirty_bytes() == 0
+
+
+class TestEviction:
+    def test_lru_eviction_writes_back_dirty(self):
+        backend, cache = make_cache(max_pages=2)
+        cache.write(0, b"aaaa")         # page 0
+        cache.write(16, b"bbbb")        # page 1
+        cache.write(32, b"cccc")        # page 2 -> evicts page 0 (dirty)
+        assert cache.cached_pages <= 2
+        assert cache.stats.evictions >= 1
+        assert backend.store_obj.read(0, 4) == b"aaaa"
+
+    def test_invalidate_flushes_first(self):
+        backend, cache = make_cache()
+        cache.write(0, b"data")
+        cache.invalidate()
+        assert backend.store_obj.read(0, 4) == b"data"
+        assert cache.cached_pages == 0
+        assert cache.stats.invalidations == 1
+
+
+class TestCacheProperty:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 120), st.binary(min_size=1, max_size=20)),
+                    max_size=25))
+    def test_cache_consistent_with_flat_model(self, ops):
+        """Interleaved reads and writes through the cache always observe the
+        same bytes as a reference flat buffer, provided reads of data written
+        by *this* client (the only writer) need no invalidation."""
+        backend, cache = make_cache(page_size=16, max_pages=4, read_ahead_pages=1)
+        reference = bytearray(256)
+        for is_write, offset, data in ops:
+            if is_write:
+                cache.write(offset, data)
+                reference[offset : offset + len(data)] = data
+            else:
+                nbytes = len(data)
+                assert cache.read(offset, nbytes) == bytes(reference[offset : offset + nbytes])
+        cache.flush()
+        size = backend.store_obj.size
+        assert backend.store_obj.read(0, size) == bytes(reference[:size])

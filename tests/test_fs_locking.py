@@ -1,0 +1,217 @@
+"""Tests for the central and distributed (token) byte-range lock managers."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.fs.errors import InvalidRequest, LockViolation
+from repro.fs.lockmanager import CentralLockManager, LockMode
+from repro.fs.tokens import DistributedLockManager
+
+
+class TestCentralLockManagerBasics:
+    def test_acquire_release(self):
+        lm = CentralLockManager()
+        lock, t = lm.acquire(owner=0, start=0, stop=100)
+        assert t == pytest.approx(0.0)
+        assert len(lm.held_locks()) == 1
+        lm.release(lock)
+        assert lm.held_locks() == []
+
+    def test_request_latency_charged(self):
+        lm = CentralLockManager(request_latency=0.01)
+        _, t = lm.acquire(owner=0, start=0, stop=10, now=1.0)
+        assert t == pytest.approx(1.01)
+
+    def test_disjoint_ranges_concurrent(self):
+        lm = CentralLockManager()
+        a, _ = lm.acquire(owner=0, start=0, stop=10)
+        b, _ = lm.acquire(owner=1, start=10, stop=20)
+        assert len(lm.held_locks()) == 2
+        lm.release(a)
+        lm.release(b)
+
+    def test_shared_read_locks_coexist(self):
+        lm = CentralLockManager()
+        a, _ = lm.acquire(owner=0, start=0, stop=10, mode=LockMode.SHARED)
+        b, _ = lm.acquire(owner=1, start=0, stop=10, mode=LockMode.SHARED)
+        assert len(lm.held_locks()) == 2
+        lm.release(a)
+        lm.release(b)
+
+    def test_same_owner_reentrant_overlap(self):
+        lm = CentralLockManager()
+        a, _ = lm.acquire(owner=0, start=0, stop=10)
+        b, _ = lm.acquire(owner=0, start=5, stop=15)  # own locks never conflict
+        lm.release(a)
+        lm.release(b)
+
+    def test_double_release_rejected(self):
+        lm = CentralLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=10)
+        lm.release(lock)
+        with pytest.raises(LockViolation):
+            lm.release(lock)
+
+    def test_invalid_range_rejected(self):
+        lm = CentralLockManager()
+        with pytest.raises(InvalidRequest):
+            lm.acquire(owner=0, start=10, stop=5)
+        with pytest.raises(InvalidRequest):
+            lm.acquire(owner=0, start=0, stop=5, mode="bogus")
+
+    def test_release_all(self):
+        lm = CentralLockManager()
+        lm.acquire(owner=3, start=0, stop=10)
+        lm.acquire(owner=3, start=20, stop=30)
+        lm.acquire(owner=4, start=40, stop=50)
+        assert lm.release_all(3) == 2
+        assert len(lm.held_locks()) == 1
+
+
+class TestCentralLockManagerBlocking:
+    def test_conflicting_lock_blocks_until_release(self):
+        lm = CentralLockManager()
+        first, _ = lm.acquire(owner=0, start=0, stop=100)
+        order = []
+
+        def second_locker():
+            order.append("requesting")
+            lock, _ = lm.acquire(owner=1, start=50, stop=150, timeout=10)
+            order.append("granted")
+            lm.release(lock)
+
+        t = threading.Thread(target=second_locker)
+        t.start()
+        time.sleep(0.05)
+        assert order == ["requesting"]  # still blocked
+        lm.release(first, now=0.5)
+        t.join(timeout=5)
+        assert order == ["requesting", "granted"]
+        assert lm.wait_count == 1
+
+    def test_virtual_release_time_propagates(self):
+        """A later request is granted no earlier (in virtual time) than the
+        conflicting lock's release, even if the real-time race is over."""
+        lm = CentralLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=100, now=0.0)
+        lm.release(lock, now=7.5)
+        _, grant = lm.acquire(owner=1, start=50, stop=60, now=1.0)
+        assert grant >= 7.5
+
+    def test_no_propagation_for_disjoint_history(self):
+        lm = CentralLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=10, now=0.0)
+        lm.release(lock, now=9.0)
+        _, grant = lm.acquire(owner=1, start=50, stop=60, now=1.0)
+        assert grant == pytest.approx(1.0)
+
+    def test_shared_locks_do_not_serialise(self):
+        lm = CentralLockManager()
+        a, _ = lm.acquire(owner=0, start=0, stop=10, mode=LockMode.SHARED, now=0.0)
+        lm.release(a, now=5.0)
+        _, grant = lm.acquire(owner=1, start=0, stop=10, mode=LockMode.SHARED, now=1.0)
+        assert grant == pytest.approx(1.0)
+
+    def test_reset_history(self):
+        lm = CentralLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=10)
+        lm.release(lock, now=5.0)
+        lm.reset_history()
+        _, grant = lm.acquire(owner=1, start=0, stop=10, now=0.0)
+        assert grant == pytest.approx(0.0)
+
+    def test_timeout(self):
+        lm = CentralLockManager()
+        lm.acquire(owner=0, start=0, stop=10)
+        with pytest.raises(TimeoutError):
+            lm.acquire(owner=1, start=0, stop=10, timeout=0.05)
+
+
+class TestDistributedLockManager:
+    def test_first_acquisition_costs_token_round_trip(self):
+        lm = DistributedLockManager(acquire_latency=0.01, local_latency=0.0001)
+        _, grant = lm.acquire(owner=0, start=0, stop=100, now=0.0)
+        assert grant == pytest.approx(0.01)
+        assert lm.token_acquisition_count == 1
+        assert lm.local_grant_count == 0
+
+    def test_cached_token_makes_relocking_cheap(self):
+        lm = DistributedLockManager(acquire_latency=0.01, local_latency=0.0001)
+        lock, _ = lm.acquire(owner=0, start=0, stop=100, now=0.0)
+        lm.release(lock, now=0.02)
+        _, grant = lm.acquire(owner=0, start=10, stop=50, now=0.02)
+        assert grant == pytest.approx(0.02 + 0.0001)
+        assert lm.local_grant_count == 1
+
+    def test_revocation_counts_and_costs(self):
+        lm = DistributedLockManager(acquire_latency=0.01, revoke_latency=0.005)
+        a, _ = lm.acquire(owner=0, start=0, stop=100, now=0.0)
+        lm.release(a, now=0.05)
+        _, grant = lm.acquire(owner=1, start=50, stop=150, now=0.0)
+        # Must wait for owner 0's virtual release (0.05), pay the token
+        # acquisition plus one revocation.
+        assert grant == pytest.approx(0.05 + 0.01 + 0.005)
+        assert lm.revocation_count == 1
+        # Owner 0's token no longer covers the revoked part.
+        assert not lm.token_of(0).covers(IntervalSet.single(50, 100))
+        assert lm.token_of(0).covers(IntervalSet.single(0, 50))
+
+    def test_tokens_give_exclusive_ranges(self):
+        lm = DistributedLockManager()
+        a, _ = lm.acquire(owner=0, start=0, stop=50)
+        lm.release(a)
+        b, _ = lm.acquire(owner=1, start=50, stop=100)
+        lm.release(b)
+        assert lm.token_of(0).covers(IntervalSet.single(0, 50))
+        assert lm.token_of(1).covers(IntervalSet.single(50, 100))
+        assert not lm.token_of(0).overlaps(lm.token_of(1))
+
+    def test_active_conflicting_lock_blocks(self):
+        lm = DistributedLockManager()
+        first, _ = lm.acquire(owner=0, start=0, stop=100)
+        granted = []
+
+        def second():
+            lock, _ = lm.acquire(owner=1, start=0, stop=10, timeout=10)
+            granted.append(lock)
+
+        t = threading.Thread(target=second)
+        t.start()
+        time.sleep(0.05)
+        assert granted == []
+        lm.release(first, now=1.0)
+        t.join(timeout=5)
+        assert len(granted) == 1
+
+    def test_relinquish_tokens(self):
+        lm = DistributedLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=10)
+        lm.release(lock)
+        lm.relinquish_tokens(0)
+        assert lm.token_of(0).is_empty()
+
+    def test_double_release_rejected(self):
+        lm = DistributedLockManager()
+        lock, _ = lm.acquire(owner=0, start=0, stop=10)
+        lm.release(lock)
+        with pytest.raises(LockViolation):
+            lm.release(lock)
+
+    def test_release_all(self):
+        lm = DistributedLockManager()
+        lm.acquire(owner=0, start=0, stop=10)
+        lm.acquire(owner=0, start=20, stop=30)
+        assert lm.release_all(0) == 2
+        assert lm.held_locks() == []
+
+    def test_invalid_inputs(self):
+        lm = DistributedLockManager()
+        with pytest.raises(InvalidRequest):
+            lm.acquire(owner=0, start=5, stop=1)
+        with pytest.raises(ValueError):
+            DistributedLockManager(acquire_latency=-1)

@@ -1,0 +1,238 @@
+"""Tests for the MPIFile MPI-IO layer (Figure 4 call sequence)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import RankOrderingStrategy
+from repro.datatypes import CHAR, INT, contiguous, subarray
+from repro.fs import ParallelFileSystem
+from repro.fs.filesystem import LockProtocol
+from repro.io import Info, MPIFile, MODE_CREATE, MODE_RDONLY, MODE_RDWR, MODE_WRONLY
+from repro.mpi import run_spmd
+from repro.patterns.partition import column_wise_spec, column_wise_views
+from repro.core.regions import build_region_sets
+from repro.verify.atomicity import check_coverage, check_mpi_atomicity
+from tests.conftest import fast_fs_config
+
+
+def spmd(fn, nprocs, fs):
+    return run_spmd(fn, nprocs)
+
+
+class TestBasicReadWrite:
+    def test_independent_write_read_roundtrip(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "a.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"hello world")
+            f.Sync()
+            buf = bytearray(11)
+            f.Read_at(0, buf)
+            f.Close()
+            return bytes(buf)
+
+        result = run_spmd(fn, 2)
+        assert all(r == b"hello world" for r in result.returns)
+
+    def test_write_all_disjoint_offsets(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "b.dat", fast_fs)
+            etype = CHAR
+            filetype = contiguous(8, CHAR)
+            f.Set_view(comm.rank * 8, etype, filetype)
+            f.Write_all(bytes([65 + comm.rank]) * 8)
+            f.Close()
+
+        run_spmd(fn, 4)
+        data = fast_fs.lookup("b.dat").store.read(0, 32)
+        assert data == b"A" * 8 + b"B" * 8 + b"C" * 8 + b"D" * 8
+
+    def test_numpy_buffer_roundtrip(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "np.dat", fast_fs)
+            f.Set_view(comm.rank * 40, INT, contiguous(10, INT))
+            data = np.arange(10, dtype=np.int32) + comm.rank * 100
+            f.Write_all(data)
+            f.Sync()
+            f.Seek(0)  # rewind the individual file pointer before reading back
+            out = np.zeros(10, dtype=np.int32)
+            f.Read_all(out)
+            f.Close()
+            return out.tolist()
+
+        result = run_spmd(fn, 3)
+        for rank, values in enumerate(result.returns):
+            assert values == [rank * 100 + i for i in range(10)]
+
+    def test_individual_file_pointer(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "fp.dat", fast_fs)
+            if comm.rank == 0:
+                assert f.Tell() == 0
+                f.Write(b"abc")
+                assert f.Tell() == 3
+                f.Write(b"def")
+                f.Seek(1)
+                buf = bytearray(4)
+                f.Read(buf)
+                assert bytes(buf) == b"bcde"
+                assert f.Tell() == 5
+            f.Close()
+
+        run_spmd(fn, 1)
+
+    def test_get_size(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "sz.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"x" * 100)
+            f.Sync()
+            size = f.Get_size()
+            f.Close()
+            return size
+
+        result = run_spmd(fn, 2)
+        assert all(s == 100 for s in result.returns)
+
+    def test_access_mode_enforcement(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "ro.dat", fast_fs, amode=MODE_RDONLY)
+            with pytest.raises(PermissionError):
+                f.Write_at(0, b"x")
+            f.Close()
+            g = MPIFile.Open(comm, "wo.dat", fast_fs, amode=MODE_WRONLY | MODE_CREATE)
+            with pytest.raises(PermissionError):
+                g.Read_at(0, bytearray(1))
+            g.Close()
+
+        run_spmd(fn, 1)
+
+    def test_closed_file_rejected(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "c.dat", fast_fs)
+            f.Close()
+            with pytest.raises(ValueError):
+                f.Write_at(0, b"x")
+
+        run_spmd(fn, 1)
+
+    def test_non_native_datarep_rejected(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "d.dat", fast_fs)
+            with pytest.raises(NotImplementedError):
+                f.Set_view(0, CHAR, contiguous(1, CHAR), datarep="external32")
+            f.Close()
+
+        run_spmd(fn, 1)
+
+
+class TestFigure4CallSequence:
+    """The paper's Figure 4 code, transliterated to this library."""
+
+    M, N, P, R = 16, 64, 4, 4
+
+    def _run(self, fs, atomic=True, strategy=None, info=None):
+        M, N, P, R = self.M, self.N, self.P, self.R
+
+        def fn(comm):
+            rank = comm.rank
+            spec = column_wise_spec(M, N, P, rank, R)
+            filetype = subarray(list(spec.sizes), list(spec.subsizes),
+                                list(spec.starts), CHAR).commit()
+            f = MPIFile.Open(comm, "fig4.dat", fs, amode=MODE_RDWR | MODE_CREATE, info=info)
+            f.Set_atomicity(atomic)
+            if strategy is not None:
+                f.set_strategy(strategy)
+            f.Set_view(0, CHAR, filetype)
+            buf = bytes([ord("A") + rank]) * spec.total_bytes
+            outcome = f.Write_all(buf)
+            f.Close()
+            return outcome
+
+        return run_spmd(fn, P)
+
+    def _verify(self, fs):
+        regions = build_region_sets(column_wise_views(self.M, self.N, self.P, self.R))
+        store = fs.lookup("fig4.dat").store
+        return check_mpi_atomicity(store, regions), check_coverage(store, regions)
+
+    def test_atomic_default_strategy(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = self._run(fs, atomic=True)
+        atomic, coverage = self._verify(fs)
+        assert atomic.ok and coverage.ok
+        # Default on a locking-capable FS is the ROMIO approach.
+        assert all(o.strategy == "locking" for o in result.returns)
+
+    def test_atomic_default_on_lockless_fs(self):
+        fs = ParallelFileSystem(fast_fs_config(LockProtocol.NONE))
+        result = self._run(fs, atomic=True)
+        atomic, coverage = self._verify(fs)
+        assert atomic.ok and coverage.ok
+        assert all(o.strategy == "rank-ordering" for o in result.returns)
+
+    def test_strategy_hint_via_info(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        info = Info({"atomicity_strategy": "graph-coloring"})
+        result = self._run(fs, atomic=True, info=info)
+        atomic, _ = self._verify(fs)
+        assert atomic.ok
+        assert all(o.strategy == "graph-coloring" for o in result.returns)
+
+    def test_explicit_strategy_object(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = self._run(fs, atomic=True, strategy=RankOrderingStrategy())
+        atomic, coverage = self._verify(fs)
+        assert atomic.ok and coverage.ok
+        assert all(o.strategy == "rank-ordering" for o in result.returns)
+
+    def test_non_atomic_mode_writes_everything(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = self._run(fs, atomic=False)
+        _, coverage = self._verify(fs)
+        assert coverage.ok
+        assert all(o.strategy == "none" for o in result.returns)
+
+    def test_get_atomicity_reflects_setting(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "at.dat", fast_fs)
+            before = f.Get_atomicity()
+            f.Set_atomicity(True)
+            after = f.Get_atomicity()
+            f.Close()
+            return (before, after)
+
+        result = run_spmd(fn, 2)
+        assert all(r == (False, True) for r in result.returns)
+
+
+class TestAtomicIndependentWrites:
+    def test_independent_atomic_write_uses_lock(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "ind.dat", fast_fs)
+            f.Set_atomicity(True)
+            f.Set_view(0, CHAR, contiguous(64, CHAR))
+            # All ranks write the same overlapping range independently.
+            f.Write_at(0, bytes([65 + comm.rank]) * 64)
+            f.Close()
+
+        run_spmd(fn, 3)
+        store = fast_fs.lookup("ind.dat").store
+        # The whole range must come from a single writer (no interleaving).
+        assert len(store.distinct_writers(0, 64)) == 1
+
+    def test_independent_atomic_write_without_locks_raises(self, lockless_fs):
+        from repro.fs.errors import LockingUnsupported
+        from repro.mpi import SPMDExecutionError
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "ind2.dat", lockless_fs)
+            f.Set_atomicity(True)
+            f.Write_at(0, b"x" * 8)
+            f.Close()
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 2)
+        assert any(isinstance(e, LockingUnsupported) for e in excinfo.value.failures.values())

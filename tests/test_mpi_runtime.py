@@ -1,0 +1,195 @@
+"""Tests for the SPMD runtime, point-to-point messaging and virtual clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommCostModel,
+    SPMDExecutionError,
+    VirtualClock,
+    run_spmd,
+    synchronize_clocks,
+)
+from repro.mpi.errors import RankError, TagError
+
+
+class TestRunSPMD:
+    def test_returns_per_rank_values(self):
+        result = run_spmd(lambda comm: comm.rank * 10, 4)
+        assert result.returns == [0, 10, 20, 30]
+        assert result.nprocs == 4
+
+    def test_size_and_rank_visible(self):
+        result = run_spmd(lambda comm: (comm.rank, comm.size), 3)
+        assert result.returns == [(0, 3), (1, 3), (2, 3)]
+
+    def test_extra_args_passed(self):
+        result = run_spmd(lambda comm, a, b=0: a + b + comm.rank, 2, 5, b=7)
+        assert result.returns == [12, 13]
+
+    def test_zero_procs_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda comm: None, 0)
+
+    def test_exception_propagates_with_rank(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 3)
+        assert 1 in excinfo.value.failures
+        assert "boom" in str(excinfo.value)
+
+    def test_failure_does_not_deadlock_collectives(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            comm.barrier()  # would hang forever without barrier abort
+
+        with pytest.raises(SPMDExecutionError):
+            run_spmd(fn, 3, timeout=10)
+
+    def test_mpi_style_getters(self):
+        result = run_spmd(lambda comm: (comm.Get_rank(), comm.Get_size()), 2)
+        assert result.returns == [(0, 2), (1, 2)]
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send({"x": 42}, dest=1, tag=7)
+                return None
+            return comm.recv(source=0, tag=7)
+
+        result = run_spmd(fn, 2)
+        assert result.returns[1] == {"x": 42}
+
+    def test_any_source_any_tag(self):
+        def fn(comm):
+            if comm.rank != 0:
+                comm.send(comm.rank, dest=0, tag=comm.rank)
+                return None
+            got = sorted(comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(comm.size - 1))
+            return got
+
+        result = run_spmd(fn, 4)
+        assert result.returns[0] == [1, 2, 3]
+
+    def test_tag_matching_out_of_order(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", dest=1, tag=1)
+                comm.send("second", dest=1, tag=2)
+                return None
+            second = comm.recv(source=0, tag=2)
+            first = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        result = run_spmd(fn, 2)
+        assert result.returns[1] == ("first", "second")
+
+    def test_isend_irecv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend([1, 2, 3], dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        result = run_spmd(fn, 2)
+        assert result.returns[1] == [1, 2, 3]
+
+    def test_sendrecv_exchange(self):
+        def fn(comm):
+            peer = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=peer, source=src)
+
+        result = run_spmd(fn, 4)
+        assert result.returns == [3, 0, 1, 2]
+
+    def test_status_filled(self):
+        from repro.mpi import Status
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("hi", dest=1, tag=9)
+                return None
+            status = Status()
+            comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+            return (status.source, status.tag)
+
+        result = run_spmd(fn, 2)
+        assert result.returns[1] == (0, 9)
+
+    def test_bad_destination_rank(self):
+        def fn(comm):
+            comm.send(1, dest=10)
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 2)
+        assert any(isinstance(e, RankError) for e in excinfo.value.failures.values())
+
+    def test_bad_tag(self):
+        def fn(comm):
+            comm.send(1, dest=0, tag=-5)
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 1)
+        assert any(isinstance(e, TagError) for e in excinfo.value.failures.values())
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_advance_to_only_forward(self):
+        clock = VirtualClock(now=5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+        clock.advance_to(8.0, waiting=True)
+        assert clock.now == 8.0
+        assert clock.waited == pytest.approx(3.0)
+
+    def test_reset(self):
+        clock = VirtualClock(now=5.0, waited=1.0)
+        clock.reset()
+        assert clock.now == 0.0 and clock.waited == 0.0
+
+    def test_synchronize_clocks(self):
+        clocks = [VirtualClock(now=t) for t in (1.0, 5.0, 3.0)]
+        latest = synchronize_clocks(clocks)
+        assert latest == 5.0
+        assert all(c.now == 5.0 for c in clocks)
+
+    def test_comm_cost_charged(self):
+        cost = CommCostModel(latency=0.01, byte_cost=0.0)
+
+        def fn(comm):
+            comm.barrier()
+            return comm.clock.now
+
+        result = run_spmd(fn, 2, comm_cost=cost)
+        assert all(t >= 0.01 for t in result.returns)
+
+    def test_makespan(self):
+        def fn(comm):
+            comm.clock.advance(0.1 * (comm.rank + 1))
+            return None
+
+        result = run_spmd(fn, 3)
+        assert result.makespan == pytest.approx(0.3)

@@ -1,0 +1,130 @@
+"""Tests for the atomicity verifier itself (it must catch real violations)."""
+
+from __future__ import annotations
+
+from repro.core.regions import build_region_sets
+from repro.fs.storage import ByteStore
+from repro.verify.atomicity import (
+    check_coverage,
+    check_mpi_atomicity,
+    check_posix_call_atomicity,
+)
+
+
+def make_regions():
+    # Two ranks overlapping on [5, 10).
+    return build_region_sets([[(0, 10)], [(5, 10)]])
+
+
+class TestMPIAtomicityChecker:
+    def test_accepts_single_writer_overlap(self):
+        store = ByteStore()
+        store.write(0, b"A" * 10, writer=0)
+        store.write(5, b"B" * 10, writer=1)   # rank 1 wholly overwrote the overlap
+        report = check_mpi_atomicity(store, make_regions())
+        assert report.ok
+        assert report.overlapped_bytes == 5
+        assert "OK" in report.summary()
+
+    def test_detects_interleaving(self):
+        store = ByteStore()
+        store.write(0, b"A" * 10, writer=0)
+        store.write(5, b"B" * 10, writer=1)
+        # Rank 0 then rewrites part of the overlap: mixed provenance.
+        store.write(7, b"A" * 2, writer=0)
+        report = check_mpi_atomicity(store, make_regions())
+        assert not report.ok
+        assert report.violations[0].kind == "interleaved"
+        assert "VIOLATED" in report.summary()
+
+    def test_detects_foreign_writer(self):
+        store = ByteStore()
+        store.write(0, b"A" * 10, writer=0)
+        store.write(5, b"C" * 5, writer=7)    # rank 7 has no view here
+        report = check_mpi_atomicity(store, make_regions())
+        assert not report.ok
+        assert report.violations[0].kind == "foreign-writer"
+
+    def test_third_covering_rank_accepted(self):
+        # Rank 2 covers the whole overlap of ranks 0 and 1, so its data there
+        # is a legal MPI-atomic outcome.
+        regions = build_region_sets([[(0, 10)], [(5, 10)], [(0, 20)]])
+        store = ByteStore()
+        store.write(0, b"C" * 20, writer=2)
+        assert check_mpi_atomicity(store, regions).ok
+
+    def test_no_overlap_trivially_ok(self):
+        regions = build_region_sets([[(0, 10)], [(10, 10)]])
+        store = ByteStore()
+        report = check_mpi_atomicity(store, regions)
+        assert report.ok
+        assert report.overlap_regions_checked == 0
+
+    def test_split_ownership_across_runs_of_one_pair_is_a_violation(self):
+        """MPI atomicity is defined over the whole (possibly non-contiguous)
+        overlapped region of a pair of requests: one run from rank 1 and
+        another run from rank 0 is the Figure 2 interleaving, even though
+        each individual run has a single writer."""
+        regions = build_region_sets([[(0, 4), (10, 4)], [(2, 4), (12, 4)]])
+        store = ByteStore()
+        store.write(0, b"A" * 14, writer=0)
+        store.write(2, b"B" * 2, writer=1)     # first overlap run -> rank 1
+        store.write(12, b"A" * 2, writer=0)    # second overlap run -> rank 0
+        report = check_mpi_atomicity(store, regions)
+        assert not report.ok
+        assert report.overlap_regions_checked == 2
+        assert report.violations[0].kind == "interleaved"
+
+    def test_consistent_ownership_across_runs_of_one_pair_is_ok(self):
+        regions = build_region_sets([[(0, 4), (10, 4)], [(2, 4), (12, 4)]])
+        store = ByteStore()
+        store.write(0, b"A" * 14, writer=0)
+        store.write(2, b"B" * 2, writer=1)
+        store.write(12, b"B" * 2, writer=1)    # both overlap runs -> rank 1
+        assert check_mpi_atomicity(store, regions).ok
+
+
+class TestPosixCallChecker:
+    def test_intact_call_ok(self):
+        store = ByteStore()
+        store.write(0, b"xyz", writer=3)
+        assert check_posix_call_atomicity(store, [(3, 0, 3)]).ok
+
+    def test_torn_call_detected(self):
+        store = ByteStore()
+        store.write(0, b"xyz", writer=3)
+        store.write(1, b"Q", writer=4)
+        report = check_posix_call_atomicity(store, [(3, 0, 3)])
+        assert not report.ok
+        assert report.violations[0].kind == "torn-call"
+
+
+class TestCoverageChecker:
+    def test_complete_coverage_ok(self):
+        regions = make_regions()
+        store = ByteStore()
+        store.write(0, b"A" * 10, writer=0)
+        store.write(5, b"B" * 10, writer=1)
+        assert check_coverage(store, regions).ok
+
+    def test_unwritten_hole_detected(self):
+        regions = make_regions()
+        store = ByteStore()
+        store.write(0, b"A" * 10, writer=0)   # rank 1's [10,15) never written
+        report = check_coverage(store, regions)
+        assert not report.ok
+        assert any(v.kind == "unwritten" for v in report.violations)
+
+    def test_foreign_writer_detected(self):
+        regions = build_region_sets([[(0, 10)]])
+        store = ByteStore()
+        store.write(0, b"Z" * 10, writer=9)
+        report = check_coverage(store, regions)
+        assert not report.ok
+        assert any(v.kind == "foreign-writer" for v in report.violations)
+
+    def test_report_bool_protocol(self):
+        store = ByteStore()
+        store.write(0, b"A" * 15, writer=0)
+        store.write(5, b"B" * 10, writer=1)
+        assert bool(check_coverage(store, make_regions()))
