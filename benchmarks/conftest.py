@@ -16,9 +16,22 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def report(title: str, body: str) -> None:
-    """Print a captioned block and append it to the results file."""
+    """Print a captioned block and record it in the results file.
+
+    A section with the same title replaces its previous version in place, so
+    ``latest.txt`` holds exactly one copy of every section regardless of how
+    often or how partially the benchmarks are re-run.
+    """
     block = f"\n===== {title} =====\n{body}\n"
     print(block)
     RESULTS_DIR.mkdir(exist_ok=True)
-    with open(RESULTS_DIR / "latest.txt", "a", encoding="utf-8") as fh:
-        fh.write(block)
+    path = RESULTS_DIR / "latest.txt"
+    text = path.read_text(encoding="utf-8") if path.exists() else ""
+    header = f"\n===== {title} =====\n"
+    if header in text:
+        start = text.index(header)
+        next_section = text.find("\n===== ", start + len(header))
+        text = text[:start] + block + (text[next_section:] if next_section != -1 else "")
+    else:
+        text += block
+    path.write_text(text, encoding="utf-8")

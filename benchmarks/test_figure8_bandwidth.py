@@ -50,9 +50,9 @@ def test_figure8_bandwidth(benchmark, machine_name):
     # Locking is reported only where the platform supports it.
     strategies = {r.strategy for r in table}
     if machine.supports_locking:
-        assert strategies == {"locking", "graph-coloring", "rank-ordering"}
+        assert strategies == {"locking", "graph-coloring", "rank-ordering", "two-phase"}
     else:
-        assert strategies == {"graph-coloring", "rank-ordering"}
+        assert strategies == {"graph-coloring", "rank-ordering", "two-phase"}
 
     for label in ARRAY_LABELS:
         series = figure8_series(table, machine.name, label)

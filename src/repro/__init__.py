@@ -34,12 +34,16 @@ from .core import (
     LockingStrategy,
     NoAtomicityStrategy,
     OverlapMatrix,
+    PipelineStrategy,
     RankOrderingStrategy,
     STRATEGY_NAMES,
+    TwoPhaseStrategy,
     WriteOutcome,
     build_overlap_matrix,
+    default_registry,
     estimate_column_wise,
     greedy_coloring,
+    register_strategy,
     resolve_by_rank,
     strategy_by_name,
 )
@@ -71,12 +75,16 @@ __all__ = [
     "__version__",
     # core
     "AtomicityStrategy",
+    "PipelineStrategy",
     "NoAtomicityStrategy",
     "LockingStrategy",
     "GraphColoringStrategy",
     "RankOrderingStrategy",
+    "TwoPhaseStrategy",
     "strategy_by_name",
     "STRATEGY_NAMES",
+    "default_registry",
+    "register_strategy",
     "AtomicWriteExecutor",
     "ConcurrentWriteResult",
     "WriteOutcome",

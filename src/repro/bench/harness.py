@@ -1,15 +1,20 @@
 """Experiment driver for the paper's evaluation (Figure 8).
 
-:func:`run_column_wise_experiment` measures one point: a column-wise
-partitioned concurrent overlapping write of an ``M x N`` byte array by ``P``
-processes on one machine personality under one atomicity strategy, returning
-an :class:`~repro.bench.results.ExperimentRecord` with the virtual-time
-bandwidth and an atomicity verdict.
+:func:`run_column_wise_experiment` measures one point: a partitioned
+concurrent overlapping write of an ``M x N`` byte array by ``P`` processes on
+one machine personality under one atomicity strategy, returning an
+:class:`~repro.bench.results.ExperimentRecord` with the virtual-time
+bandwidth and an atomicity verdict.  The paper's evaluation is column-wise
+(the default ``pattern``); the harness can also sweep the row-wise and
+block-block partitionings of Figures 1 and 3.
 
 :func:`run_figure8_grid` sweeps the full grid the paper reports — three
 machines × three array sizes × P ∈ {4, 8, 16} × the applicable strategies —
-and returns a :class:`~repro.bench.results.ResultTable`.  On Cplant/ENFS the
-locking strategy is skipped (no lock support), as in the paper.
+and returns a :class:`~repro.bench.results.ResultTable`.  Strategies come
+from the central registry (:mod:`repro.core.registry`): by default every
+registered atomicity-providing strategy runs, and strategies that need
+byte-range locks are skipped on machines without lock support (Cplant/ENFS),
+as in the paper.
 """
 
 from __future__ import annotations
@@ -18,11 +23,10 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..core.executor import AtomicWriteExecutor
 from ..core.overlap import overlapped_bytes_total
-from ..core.regions import FileRegionSet
-from ..core.strategies import strategy_by_name
+from ..core.registry import default_registry
+from ..patterns.partition import views_for_pattern
 from ..fs.filesystem import ParallelFileSystem
 from ..mpi.comm import CommCostModel
-from ..patterns.partition import column_wise_views
 from ..patterns.workloads import (
     PAPER_ARRAY_SIZES,
     PAPER_OVERLAP_COLUMNS,
@@ -41,20 +45,23 @@ __all__ = [
 ]
 
 #: Default divisor applied to the paper's 4096-row arrays so the full grid
-#: (3 machines x 3 sizes x 3 process counts x 3 strategies) completes in
-#: seconds.  Row counts scale the number of per-rank segments; the relative
-#: behaviour of the strategies is unchanged (see EXPERIMENTS.md).
+#: (3 machines x 3 sizes x 3 process counts x the registered strategies)
+#: completes in seconds.  Row counts scale the number of per-rank segments;
+#: the relative behaviour of the strategies is unchanged (see EXPERIMENTS.md).
 DEFAULT_ROW_SCALE = 64
 
 
 def strategies_for_machine(machine: MachineSpec, strategies: Sequence[str]) -> List[str]:
-    """Drop the locking strategy on machines without lock support (ENFS)."""
-    out = []
-    for s in strategies:
-        if s == "locking" and not machine.supports_locking:
-            continue
-        out.append(s)
-    return out
+    """Drop strategies whose registered capabilities the machine lacks.
+
+    Today that means lock-requiring strategies on machines without byte-range
+    locking (ENFS), exactly as in the paper; the filter reads the capability
+    off the registered class rather than hard-coding strategy names.
+    """
+    return [
+        s for s in strategies
+        if default_registry.supported_on(s, machine.supports_locking)
+    ]
 
 
 def run_column_wise_experiment(
@@ -66,19 +73,25 @@ def run_column_wise_experiment(
     overlap_columns: int = PAPER_OVERLAP_COLUMNS,
     array_label: Optional[str] = None,
     verify: bool = True,
+    pattern: str = "column-wise",
 ) -> ExperimentRecord:
-    """Measure one (machine, size, P, strategy) point of Figure 8."""
+    """Measure one (machine, size, P, strategy) point of Figure 8.
+
+    ``pattern`` selects the partitioning (``column-wise`` — the paper's
+    evaluation and the default — ``row-wise`` or ``block-block``);
+    ``overlap_columns`` is the ghost width ``R`` of the chosen pattern.
+    """
     if isinstance(machine, str):
         machine = machine_by_name(machine)
     fs = ParallelFileSystem(machine.make_fs_config())
-    strat = strategy_by_name(strategy)
+    strat = default_registry.create(strategy)
     executor = AtomicWriteExecutor(
         fs,
         strat,
         filename=f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_{strategy}.dat",
         comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
     )
-    views = column_wise_views(M, N, nprocs, overlap_columns)
+    views = views_for_pattern(pattern, M, N, nprocs, overlap_columns)
     result = executor.run(
         nprocs,
         view_factory=lambda rank, _P: views[rank],
@@ -86,7 +99,7 @@ def run_column_wise_experiment(
     )
     regions = result.regions
     atomic_ok = True
-    if verify and strategy != "none":
+    if verify and strat.provides_atomicity:
         report = check_mpi_atomicity(result.file.store, regions)
         atomic_ok = report.ok
     overlap_bytes = overlapped_bytes_total(regions)
@@ -110,6 +123,7 @@ def run_column_wise_experiment(
         overlap_bytes=overlap_bytes,
         phases=phases,
         lock_waits=lock_waits,
+        pattern=pattern,
     )
 
 
@@ -117,20 +131,25 @@ def run_figure8_grid(
     machines: Optional[Iterable[MachineSpec | str]] = None,
     array_labels: Optional[Sequence[str]] = None,
     process_counts: Sequence[int] = PAPER_PROCESS_COUNTS,
-    strategies: Sequence[str] = ("locking", "graph-coloring", "rank-ordering"),
+    strategies: Optional[Sequence[str]] = None,
     row_scale: int = DEFAULT_ROW_SCALE,
     overlap_columns: int = PAPER_OVERLAP_COLUMNS,
     verify: bool = True,
+    pattern: str = "column-wise",
 ) -> ResultTable:
     """Sweep the full Figure 8 grid and return every measured point.
 
-    ``row_scale`` divides the paper's 4096-row arrays (see
-    :data:`DEFAULT_ROW_SCALE`); pass 1 to run the paper's exact shapes.
+    ``strategies`` defaults to every atomicity-providing strategy in the
+    registry (including ``two-phase``); ``row_scale`` divides the paper's
+    4096-row arrays (see :data:`DEFAULT_ROW_SCALE`); pass 1 to run the
+    paper's exact shapes.
     """
     if machines is None:
         machines = ALL_MACHINES
     if array_labels is None:
         array_labels = list(PAPER_ARRAY_SIZES)
+    if strategies is None:
+        strategies = default_registry.atomic_names()
     table = ResultTable()
     for machine in machines:
         spec = machine_by_name(machine) if isinstance(machine, str) else machine
@@ -150,6 +169,7 @@ def run_figure8_grid(
                         overlap_columns=overlap_columns,
                         array_label=label,
                         verify=verify,
+                        pattern=pattern,
                     )
                     table.add(record)
     return table

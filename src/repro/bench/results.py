@@ -34,6 +34,7 @@ class ExperimentRecord:
     overlap_bytes: int = 0
     phases: int = 1
     lock_waits: int = 0
+    pattern: str = "column-wise"
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -23,13 +23,32 @@ from .rank_ordering import (
     verify_coverage_preserved,
     verify_disjoint,
 )
+from .pipeline import (
+    ConflictAnalysis,
+    ConflictReport,
+    LockDirective,
+    PhasePlan,
+    PhaseRunner,
+    ViewExchange,
+    WritePlan,
+    WriteStep,
+)
+from .registry import StrategyRegistry, default_registry, register_strategy
+from .aggregation import (
+    AggregatedRun,
+    choose_aggregators,
+    merge_pieces,
+    partition_domain,
+)
 from .strategies import (
     STRATEGY_NAMES,
     AtomicityStrategy,
     GraphColoringStrategy,
     LockingStrategy,
     NoAtomicityStrategy,
+    PipelineStrategy,
     RankOrderingStrategy,
+    TwoPhaseStrategy,
     WriteOutcome,
     strategy_by_name,
 )
@@ -59,13 +78,30 @@ __all__ = [
     "HIGHER_RANK_WINS",
     "LOWER_RANK_WINS",
     "AtomicityStrategy",
+    "PipelineStrategy",
     "NoAtomicityStrategy",
     "LockingStrategy",
     "GraphColoringStrategy",
     "RankOrderingStrategy",
+    "TwoPhaseStrategy",
     "WriteOutcome",
     "strategy_by_name",
     "STRATEGY_NAMES",
+    "ViewExchange",
+    "ConflictAnalysis",
+    "ConflictReport",
+    "LockDirective",
+    "WriteStep",
+    "PhasePlan",
+    "WritePlan",
+    "PhaseRunner",
+    "StrategyRegistry",
+    "default_registry",
+    "register_strategy",
+    "AggregatedRun",
+    "choose_aggregators",
+    "partition_domain",
+    "merge_pieces",
     "AtomicWriteExecutor",
     "ConcurrentWriteResult",
     "default_data_factory",

@@ -1,0 +1,162 @@
+"""Two-phase I/O aggregation: aggregator election, file-domain partitioning
+and conflict-resolving merge.
+
+The two-phase (collective buffering) strategy — ROMIO's classic optimisation
+and the natural next point of comparison to the paper's Section 3 family —
+splits a concurrent overlapping write into a communication phase and an I/O
+phase:
+
+1. a subset of ranks is elected as **aggregators**, and the *file domain*
+   (the union of every rank's file view) is partitioned among them into
+   disjoint, file-ordered chunks of near-equal byte counts;
+2. every rank ships the data for each file byte it covers to the aggregator
+   owning that byte (an ``alltoallv``-style shuffle); each aggregator merges
+   the incoming pieces, resolving overlapped bytes by the same priority rule
+   as process-rank ordering (highest-priority covering rank wins);
+3. the aggregators write their now pairwise-disjoint chunks fully in
+   parallel — no locks, no inter-phase barriers.
+
+MPI atomicity holds by construction: after the merge every overlapped byte
+carries exactly one rank's data, chosen by a fixed total order, and the
+aggregators' write ranges never intersect.
+
+This module holds the deterministic, communication-free pieces (every rank
+computes the identical election and partitioning from the exchanged views);
+the shuffle itself lives in
+:class:`repro.core.strategies.TwoPhaseStrategy`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .intervals import IntervalSet
+from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
+
+__all__ = [
+    "AggregatedRun",
+    "choose_aggregators",
+    "partition_domain",
+    "merge_pieces",
+]
+
+#: One contiguous merged extent an aggregator writes: the winning data and
+#: the rank it originated from (recorded as the write's provenance).
+@dataclass(frozen=True)
+class AggregatedRun:
+    offset: int
+    data: bytes
+    origin: int
+
+    @property
+    def length(self) -> int:
+        """Bytes in the run."""
+        return len(self.data)
+
+
+def choose_aggregators(nprocs: int, num_aggregators: int) -> List[int]:
+    """Elect ``num_aggregators`` evenly spaced ranks as I/O aggregators.
+
+    Deterministic so that every rank elects the identical set without
+    communication.  Rank 0 is always an aggregator (ROMIO's convention).
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+    count = max(1, min(num_aggregators, nprocs))
+    return [(i * nprocs) // count for i in range(count)]
+
+
+def partition_domain(domain: IntervalSet, num_chunks: int) -> List[IntervalSet]:
+    """Split the aggregate file domain into ``num_chunks`` file-ordered chunks.
+
+    Chunk byte counts differ by at most one, mirroring ROMIO's
+    ``fd_start``/``fd_end`` assignment but on the *covered* bytes only, so a
+    sparse domain still balances the actual I/O volume.  Chunks may be empty
+    when the domain has fewer bytes than there are aggregators.
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    total = domain.total_bytes
+    base, extra = divmod(total, num_chunks)
+    targets = [base + (1 if i < extra else 0) for i in range(num_chunks)]
+    chunks: List[IntervalSet] = []
+    pending = iter(domain)
+    current = next(pending, None)
+    for want in targets:
+        pieces: List[Tuple[int, int]] = []
+        while want > 0 and current is not None:
+            take = min(want, current.length)
+            pieces.append((current.start, take))
+            want -= take
+            if take == current.length:
+                current = next(pending, None)
+            else:
+                current = type(current)(current.start + take, current.stop)
+        chunks.append(IntervalSet.from_segments(pieces))
+    return chunks
+
+
+def merge_pieces(
+    pieces_by_sender: Sequence[Tuple[int, Sequence[Tuple[int, bytes]]]],
+    policy: PriorityPolicy = HIGHER_RANK_WINS,
+) -> List[AggregatedRun]:
+    """Merge shuffled pieces into disjoint runs, resolving conflicts.
+
+    ``pieces_by_sender`` maps each sending rank to its ``(file_offset, data)``
+    pieces (already restricted to this aggregator's file-domain chunk).
+    Senders are applied from lowest to highest priority, so the
+    highest-priority rank's bytes win every contested range — the same
+    winner process-rank ordering would pick, keeping the two strategies
+    byte-for-byte comparable.  Priority ties (a non-injective policy) break
+    towards the *lower* rank, matching :func:`resolve_by_rank`'s stable
+    highest-priority-first claiming order.
+
+    Returns contiguous runs of constant origin, in file order.
+    """
+    flat = [
+        (rank, int(off), bytes(data))
+        for rank, pieces in pieces_by_sender
+        for off, data in pieces
+        if len(data) > 0
+    ]
+    if not flat:
+        return []
+    # Merge densely only within each connected covered extent, so a sparse
+    # domain (pieces straddling a large file hole) costs memory proportional
+    # to the covered bytes, never to the overall offset span.
+    coverage = IntervalSet.from_segments([(off, len(data)) for _, off, data in flat])
+    components = coverage.intervals
+    component_starts = [iv.start for iv in components]
+    grouped: List[List[Tuple[int, int, bytes]]] = [[] for _ in components]
+    # Ascending (priority, -rank): the last writer of a byte wins, so the
+    # highest priority — and on ties the lowest rank, as in resolve_by_rank —
+    # is applied last.
+    for item in sorted(flat, key=lambda item: (policy(item[0]), -item[0], item[1])):
+        # Each piece is contiguous, hence fully inside one covered component.
+        idx = bisect_right(component_starts, item[1]) - 1
+        grouped[idx].append(item)
+    runs: List[AggregatedRun] = []
+    for component, items in zip(components, grouped):
+        lo, span = component.start, component.length
+        merged = np.zeros(span, dtype=np.uint8)
+        origin = np.full(span, -1, dtype=np.int32)
+        for rank, off, data in items:
+            a = off - lo
+            b = a + len(data)
+            merged[a:b] = np.frombuffer(data, dtype=np.uint8)
+            origin[a:b] = rank
+        change = np.flatnonzero(np.diff(origin) != 0) + 1
+        starts = np.concatenate(([0], change))
+        stops = np.concatenate((change, [span]))
+        for s, e in zip(starts, stops):
+            who = int(origin[s])
+            if who < 0:
+                continue
+            runs.append(
+                AggregatedRun(offset=lo + int(s), data=merged[s:e].tobytes(), origin=who)
+            )
+    return runs

@@ -1,0 +1,320 @@
+"""The staged collective-write pipeline.
+
+Every atomicity strategy in the paper follows the same hidden sequence:
+exchange file views, analyse conflicts, schedule who writes what when, then
+execute the I/O.  This module makes that sequence explicit as four composable
+stages, so a strategy is nothing but a particular configuration of them:
+
+:class:`ViewExchange`
+    Stage 1 (communication): ``allgather`` every rank's flattened file view —
+    the handshaking step of Section 3.3.  Strategies that need no knowledge
+    of their peers (byte-range locking, the non-atomic baseline) disable it
+    and pay no negotiation cost.
+
+:class:`ConflictAnalysis`
+    Stage 2 (pure local computation): run the requested conflict-resolution
+    algorithm on the exchanged views — the boolean overlap matrix plus greedy
+    colouring (Section 3.3.1), or the exact rank-priority trimming
+    (Section 3.3.2).  Every rank computes the identical result from the
+    identical inputs, so no further communication is needed.
+
+:class:`WritePlan` / :class:`PhasePlan` / :class:`WriteStep` / :class:`LockDirective`
+    Stage 3 output: a *declarative* schedule of this rank's I/O — which byte
+    ranges to lock, how many phases the collective operation has, and which
+    ``(buffer, file, length)`` transfers happen in each phase, with per-phase
+    cache/sync/barrier behaviour.  Building the plan is the only part a
+    strategy has to implement.
+
+:class:`PhaseRunner`
+    Stage 4 (execution): walk a :class:`WritePlan` against a
+    :class:`~repro.fs.client.ClientFileHandle`, acquire the scheduled locks,
+    issue each phase's transfers as one batched write, honour the sync and
+    barrier directives, and account everything into a
+    :class:`~repro.core.strategies.WriteOutcome`.
+
+The legacy strategies (locking, graph-coloring, rank-ordering) and the
+two-phase aggregation strategy are all expressed as compositions of these
+stages — see :mod:`repro.core.strategies`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fs.client import ClientFileHandle
+from ..fs.lockmanager import LockMode
+from ..mpi.comm import Communicator
+from .coloring import ColoringResult, greedy_coloring
+from .overlap import OverlapMatrix, build_overlap_matrix
+from .rank_ordering import (
+    HIGHER_RANK_WINS,
+    PriorityPolicy,
+    RankOrderingResult,
+    resolve_by_rank,
+)
+from .regions import FileRegionSet
+
+__all__ = [
+    "ViewExchange",
+    "ConflictAnalysis",
+    "ConflictReport",
+    "LockDirective",
+    "WriteStep",
+    "PhasePlan",
+    "WritePlan",
+    "PhaseRunner",
+    "USER_PAYLOAD",
+]
+
+#: Key of the rank's own data stream in a plan's payload dictionary.
+USER_PAYLOAD = "user"
+
+
+# ---------------------------------------------------------------------------
+# Stage 1 — view exchange (communication layer)
+# ---------------------------------------------------------------------------
+
+
+class ViewExchange:
+    """Collectively exchange every rank's flattened file view.
+
+    ``enabled=False`` makes the stage a no-op (returns ``None``): the
+    byte-range locking strategy and the non-atomic baseline coordinate
+    through the file system, not through the communicator, and must not pay
+    the negotiation cost of an ``allgather``.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+
+    def run(
+        self, comm: Communicator, region: FileRegionSet
+    ) -> Optional[List[FileRegionSet]]:
+        """Allgather the views; ``regions[i]`` is rank *i*'s view."""
+        if not self.enabled:
+            return None
+        all_segments = comm.allgather(region.segments)
+        return [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ViewExchange(enabled={self.enabled})"
+
+
+# ---------------------------------------------------------------------------
+# Stage 2 — conflict analysis (pure local computation)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConflictReport:
+    """Everything stage 2 learned about the concurrent operation.
+
+    Fields are ``None`` when the corresponding analysis was not requested;
+    strategies read only what their scheduling needs.
+    """
+
+    regions: Optional[List[FileRegionSet]] = None
+    overlap: Optional[OverlapMatrix] = None
+    coloring: Optional[ColoringResult] = None
+    ordering: Optional[RankOrderingResult] = None
+
+
+class ConflictAnalysis:
+    """Run a conflict-resolution algorithm on the exchanged views.
+
+    ``mode`` selects the algorithm:
+
+    * ``"none"`` — no analysis (locking / baseline);
+    * ``"coloring"`` — overlap matrix + greedy colouring (Section 3.3.1);
+    * ``"rank-order"`` — exact priority trimming (Section 3.3.2).  Also used
+      by the two-phase strategy, whose per-byte winner is the same
+      highest-priority covering rank.
+    """
+
+    MODES = ("none", "coloring", "rank-order")
+
+    def __init__(
+        self,
+        mode: str = "none",
+        policy: PriorityPolicy = HIGHER_RANK_WINS,
+        order: Optional[Sequence[int]] = None,
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"unknown analysis mode {mode!r}; known: {self.MODES}")
+        self.mode = mode
+        self.policy = policy
+        self.order = order
+
+    def run(self, regions: Optional[Sequence[FileRegionSet]]) -> ConflictReport:
+        """Analyse ``regions`` (the stage-1 output) deterministically."""
+        report = ConflictReport(regions=list(regions) if regions is not None else None)
+        if self.mode == "none" or regions is None:
+            return report
+        if self.mode == "coloring":
+            report.overlap = build_overlap_matrix(regions)
+            report.coloring = greedy_coloring(report.overlap, order=self.order)
+        elif self.mode == "rank-order":
+            report.ordering = resolve_by_rank(regions, policy=self.policy)
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConflictAnalysis(mode={self.mode!r})"
+
+
+# ---------------------------------------------------------------------------
+# Stage 3 — the declarative write schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LockDirective:
+    """One byte-range lock to hold for the duration of the plan."""
+
+    start: int
+    stop: int
+    mode: str = LockMode.EXCLUSIVE
+
+    @property
+    def length(self) -> int:
+        """Bytes covered by the lock."""
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """One contiguous transfer: payload bytes → file bytes.
+
+    ``source`` names the payload buffer the bytes come from (``"user"`` for
+    the rank's own data stream; the two-phase strategy adds an aggregation
+    buffer).  ``writer`` optionally overrides the provenance recorded by the
+    file system — an aggregator writing *on behalf of* the rank whose data
+    won the conflict resolution.
+    """
+
+    buffer_offset: int
+    file_offset: int
+    length: int
+    source: str = USER_PAYLOAD
+    writer: Optional[int] = None
+
+
+@dataclass
+class PhasePlan:
+    """The I/O this rank performs in one phase of the collective write."""
+
+    index: int
+    steps: List[WriteStep] = field(default_factory=list)
+    #: Bypass the client cache (the behaviour of writes under a lock).
+    direct: bool = False
+    #: Flush write-behind data after the phase's transfers (``MPI_File_sync``).
+    sync_after: bool = False
+    #: Synchronise with every other rank before the next phase may begin.
+    barrier_after: bool = False
+
+    @property
+    def bytes_scheduled(self) -> int:
+        """Total payload bytes this phase transfers."""
+        return sum(s.length for s in self.steps)
+
+
+@dataclass
+class WritePlan:
+    """A complete declarative schedule for one rank's collective write."""
+
+    strategy: str
+    rank: int
+    bytes_requested: int
+    phases: List[PhasePlan] = field(default_factory=list)
+    locks: List[LockDirective] = field(default_factory=list)
+    my_phase: int = 0
+    colors_used: int = 0
+    bytes_surrendered: int = 0
+    #: Override for the reported phase count when the logical phase structure
+    #: differs from the plan's I/O phases (two-phase I/O reports its shuffle
+    #: phase even though only the write phase performs file I/O).
+    reported_phases: Optional[int] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_phases(self) -> int:
+        """Phase count reported in the outcome (at least 1)."""
+        if self.reported_phases is not None:
+            return self.reported_phases
+        return max(len(self.phases), 1)
+
+    @property
+    def bytes_scheduled(self) -> int:
+        """Total payload bytes scheduled across all phases."""
+        return sum(p.bytes_scheduled for p in self.phases)
+
+
+# ---------------------------------------------------------------------------
+# Stage 4 — plan execution
+# ---------------------------------------------------------------------------
+
+
+class PhaseRunner:
+    """Execute a :class:`WritePlan` against a client file handle.
+
+    The runner is strategy-agnostic: every behavioural difference between the
+    strategies is encoded in the plan it receives.  Locks are acquired before
+    the first phase and released after the last (or on error); each phase's
+    steps go to the file system as one batched write.
+    """
+
+    def execute(
+        self,
+        comm: Communicator,
+        handle: ClientFileHandle,
+        plan: WritePlan,
+        payloads: Dict[str, bytes],
+        start_time: Optional[float] = None,
+    ) -> "WriteOutcome":
+        """Run ``plan``, drawing step data from ``payloads``.
+
+        ``start_time`` backdates the outcome to when the pipeline started
+        (stage 1), so the negotiation cost is part of the measured time just
+        as in the monolithic implementations.
+        """
+        from .strategies import WriteOutcome  # local import: avoids a cycle
+
+        out = WriteOutcome(
+            strategy=plan.strategy,
+            rank=plan.rank,
+            bytes_requested=plan.bytes_requested,
+            bytes_surrendered=plan.bytes_surrendered,
+            phases=plan.num_phases,
+            my_phase=plan.my_phase,
+            colors_used=plan.colors_used,
+            start_time=handle.clock.now if start_time is None else start_time,
+            extra=dict(plan.extra),
+        )
+        held = []
+        for directive in plan.locks:
+            held.append(handle.lock(directive.start, directive.stop, mode=directive.mode))
+            out.locks_acquired += 1
+        try:
+            for phase in plan.phases:
+                if phase.steps:
+                    batch = [
+                        (
+                            step.file_offset,
+                            payloads[step.source][
+                                step.buffer_offset : step.buffer_offset + step.length
+                            ],
+                            step.writer,
+                        )
+                        for step in phase.steps
+                    ]
+                    out.bytes_written += handle.write_batch(batch, direct=phase.direct)
+                    out.segments_written += len(batch)
+                if phase.sync_after:
+                    handle.sync()
+                if phase.barrier_after:
+                    comm.barrier()
+        finally:
+            for lock in held:
+                handle.unlock(lock)
+        out.end_time = handle.clock.now
+        return out

@@ -1,0 +1,116 @@
+"""Central registry of atomicity strategies.
+
+Replaces the ad-hoc ``strategy_by_name`` lookup table and the duplicated
+strategy-name lists that used to live in the benchmark harness.  A strategy
+class declares its capabilities (``provides_atomicity``, ``requires_locks``)
+and registers itself once; every consumer — the MPI-IO layer's Info hints,
+the benchmark grid, machine-applicability filtering — queries the registry
+instead of hard-coding names.
+
+Adding a new strategy is therefore local to one module::
+
+    from repro.core.registry import register_strategy
+    from repro.core.strategies import PipelineStrategy
+
+    @register_strategy
+    class MyStrategy(PipelineStrategy):
+        name = "my-strategy"
+        ...
+
+and it is immediately constructible via ``strategy_by_name`` and swept by
+the Figure 8 grid defaults and the CI smoke benchmark.  (The legacy
+``STRATEGY_NAMES`` tuple is frozen at import of ``repro.core.strategies``
+and lists only the built-ins; query ``default_registry.names()`` for the
+live set.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Type, TypeVar
+
+__all__ = [
+    "StrategyRegistry",
+    "default_registry",
+    "register_strategy",
+]
+
+C = TypeVar("C", bound=type)
+
+
+class StrategyRegistry:
+    """Name → strategy-class mapping with capability queries."""
+
+    def __init__(self) -> None:
+        self._classes: Dict[str, type] = {}
+
+    # -- registration ----------------------------------------------------------
+
+    def register(self, cls: C) -> C:
+        """Register ``cls`` under its ``name`` attribute (decorator-friendly)."""
+        name = getattr(cls, "name", None)
+        if not name or not isinstance(name, str) or name == "abstract":
+            raise ValueError(f"{cls!r} must define a non-empty string `name`")
+        existing = self._classes.get(name)
+        if existing is not None and existing is not cls:
+            # A redefinition of the same class (module reload, notebook
+            # re-execution) replaces the old registration; a *different*
+            # class squatting on the name is an error.
+            same_definition = (
+                existing.__module__ == cls.__module__
+                and existing.__qualname__ == cls.__qualname__
+            )
+            if not same_definition:
+                raise ValueError(
+                    f"strategy name {name!r} is already registered to {existing.__name__}"
+                )
+        self._classes[name] = cls
+        return cls
+
+    # -- lookup ---------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def get(self, name: str) -> type:
+        """The registered class for ``name`` (raises ``KeyError`` if unknown)."""
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown strategy {name!r}; known: {sorted(self._classes)}"
+            ) from None
+
+    def create(self, name: str, **kwargs):
+        """Instantiate the strategy registered under ``name``."""
+        return self.get(name)(**kwargs)
+
+    # -- queries ---------------------------------------------------------------
+
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self._classes)
+
+    def atomic_names(self) -> Tuple[str, ...]:
+        """Names of strategies that guarantee MPI atomicity."""
+        return tuple(
+            n for n, cls in self._classes.items()
+            if getattr(cls, "provides_atomicity", True)
+        )
+
+    def supported_on(self, name: str, supports_locking: bool) -> bool:
+        """Whether the named strategy can run on a machine with/without
+        byte-range lock support.  The single encoding of the capability rule:
+        both the registry queries and the benchmark harness filter use it."""
+        cls = self.get(name)
+        return supports_locking or not getattr(cls, "requires_locks", False)
+
+    def names_for_machine(self, supports_locking: bool) -> List[str]:
+        """Atomic strategies runnable on a machine with/without lock support."""
+        return [n for n in self.atomic_names() if self.supported_on(n, supports_locking)]
+
+
+#: The process-wide registry every consumer uses.
+default_registry = StrategyRegistry()
+
+#: Decorator alias: ``@register_strategy`` above a strategy class.
+register_strategy = default_registry.register

@@ -5,6 +5,15 @@ into a sequence of file system operations such that the MPI atomic-mode
 guarantee holds: every byte of every overlapped region ends up containing
 data from exactly one of the participating processes.
 
+All strategies are expressed as compositions of the staged collective-write
+pipeline (:mod:`repro.core.pipeline`): a :class:`~repro.core.pipeline.ViewExchange`
+configuration, a :class:`~repro.core.pipeline.ConflictAnalysis` configuration,
+and a ``schedule`` method that turns the analysis into a declarative
+:class:`~repro.core.pipeline.WritePlan`, which the shared
+:class:`~repro.core.pipeline.PhaseRunner` executes.  Adding a strategy means
+writing a ``schedule`` method and registering the class — see
+``ARCHITECTURE.md`` for a worked example.
+
 Implemented strategies:
 
 :class:`NoAtomicityStrategy`
@@ -30,6 +39,13 @@ Implemented strategies:
     overlapped byte to the highest-ranked writer, trim lower-ranked views,
     and let all processes write their now-disjoint regions fully in parallel.
 
+:class:`TwoPhaseStrategy`
+    Two-phase aggregation (ROMIO-style collective buffering): elect
+    aggregator ranks, shuffle every rank's data to the aggregator owning the
+    corresponding file-domain chunk (resolving overlaps by the rank-ordering
+    priority rule during the merge), then write the disjoint aggregated
+    extents fully in parallel.
+
 All strategies are *collective over the communicator*: every rank of the
 concurrent operation must call :meth:`AtomicityStrategy.execute_write`.
 """
@@ -41,23 +57,40 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..fs.client import ClientFileHandle
-from ..fs.lockmanager import LockMode
 from ..mpi.comm import Communicator
-from .coloring import ColoringResult, greedy_coloring
-from .overlap import build_overlap_matrix
-from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy, resolve_by_rank
+from .aggregation import choose_aggregators, merge_pieces, partition_domain
+from .coloring import ColoringResult
+from .intervals import merge_interval_sets
+from .pipeline import (
+    ConflictAnalysis,
+    ConflictReport,
+    LockDirective,
+    PhasePlan,
+    PhaseRunner,
+    USER_PAYLOAD,
+    ViewExchange,
+    WritePlan,
+    WriteStep,
+)
+from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
 from .regions import FileRegionSet
+from .registry import default_registry, register_strategy
 
 __all__ = [
     "WriteOutcome",
     "AtomicityStrategy",
+    "PipelineStrategy",
     "NoAtomicityStrategy",
     "LockingStrategy",
     "GraphColoringStrategy",
     "RankOrderingStrategy",
+    "TwoPhaseStrategy",
     "strategy_by_name",
     "STRATEGY_NAMES",
 ]
+
+#: Payload key of the merged aggregation buffer in a two-phase plan.
+AGGREGATE_PAYLOAD = "aggregate"
 
 
 @dataclass
@@ -87,8 +120,12 @@ class WriteOutcome:
 class AtomicityStrategy(ABC):
     """Interface of an MPI-atomicity implementation strategy."""
 
-    #: Short machine-readable identifier (used by the benchmark harness).
+    #: Short machine-readable identifier (used by the registry and harness).
     name: str = "abstract"
+    #: Whether the strategy guarantees the MPI atomic-mode outcome.
+    provides_atomicity: bool = True
+    #: Whether the strategy needs byte-range locks from the file system.
+    requires_locks: bool = False
 
     @abstractmethod
     def execute_write(
@@ -123,170 +160,281 @@ class AtomicityStrategy(ABC):
                 f"{region.total_bytes} bytes"
             )
 
-    @staticmethod
-    def _exchange_views(
-        comm: Communicator, region: FileRegionSet
-    ) -> List[FileRegionSet]:
-        """Allgather every rank's flattened view (the handshaking step)."""
-        all_segments = comm.allgather(region.segments)
-        return [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
-
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
-class NoAtomicityStrategy(AtomicityStrategy):
+class PipelineStrategy(AtomicityStrategy):
+    """A strategy expressed as a staged-pipeline composition.
+
+    Subclasses configure the first two stages (``exchange``, ``analysis``)
+    and implement :meth:`schedule`, which turns the conflict report into a
+    declarative :class:`~repro.core.pipeline.WritePlan` plus the payload
+    buffers its steps draw from.  Execution is shared.
+    """
+
+    exchange: ViewExchange = ViewExchange(enabled=False)
+    analysis: ConflictAnalysis = ConflictAnalysis(mode="none")
+    runner: PhaseRunner = PhaseRunner()
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        self._check_request(region, data)
+        start_time = handle.clock.now
+        regions = self.exchange.run(comm, region)
+        report = self.analysis.run(regions)
+        plan, payloads = self.schedule(comm, region, data, report)
+        return self.runner.execute(comm, handle, plan, payloads, start_time=start_time)
+
+    @abstractmethod
+    def schedule(
+        self,
+        comm: Communicator,
+        region: FileRegionSet,
+        data: bytes,
+        report: ConflictReport,
+    ) -> Tuple[WritePlan, Dict[str, bytes]]:
+        """Build this rank's write plan from the conflict analysis."""
+
+    def _plan(self, region: FileRegionSet, **kwargs) -> WritePlan:
+        """A fresh plan pre-filled with the request bookkeeping."""
+        return WritePlan(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            **kwargs,
+        )
+
+    @staticmethod
+    def _steps(buffer_map: Sequence[Tuple[int, int, int]]) -> List[WriteStep]:
+        """Turn a region buffer map into user-payload write steps."""
+        return [
+            WriteStep(buffer_offset=buf, file_offset=off, length=length)
+            for buf, off, length in buffer_map
+        ]
+
+
+@register_strategy
+class NoAtomicityStrategy(PipelineStrategy):
     """MPI non-atomic mode: uncoordinated per-segment POSIX writes."""
 
     name = "none"
+    provides_atomicity = False
 
     def __init__(self, use_cache: bool = True, sync_after: bool = True) -> None:
         self.use_cache = use_cache
         self.sync_after = sync_after
 
-    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
-        self._check_request(region, data)
-        out = WriteOutcome(
-            strategy=self.name,
-            rank=region.rank,
-            bytes_requested=region.total_bytes,
-            start_time=handle.clock.now,
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
+        phase = PhasePlan(
+            index=0,
+            steps=self._steps(region.buffer_map()),
+            direct=not self.use_cache,
+            sync_after=self.sync_after,
         )
-        for buf_off, file_off, length in region.buffer_map():
-            handle.write(file_off, data[buf_off : buf_off + length], direct=not self.use_cache)
-            out.bytes_written += length
-            out.segments_written += 1
-        if self.sync_after:
-            handle.sync()
-        out.end_time = handle.clock.now
-        return out
+        return self._plan(region, phases=[phase]), {USER_PAYLOAD: data}
 
 
-class LockingStrategy(AtomicityStrategy):
+@register_strategy
+class LockingStrategy(PipelineStrategy):
     """Byte-range file locking over the whole file-view extent (Section 3.2)."""
 
     name = "locking"
+    requires_locks = True
 
-    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
-        self._check_request(region, data)
-        out = WriteOutcome(
-            strategy=self.name,
-            rank=region.rank,
-            bytes_requested=region.total_bytes,
-            start_time=handle.clock.now,
-        )
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
         if region.is_empty():
-            out.end_time = handle.clock.now
-            return out
+            return self._plan(region), {USER_PAYLOAD: data}
         extent = region.extent()
         # The lock must span from the first to the last byte the process will
         # write; locking each segment individually is NOT sufficient for MPI
         # atomicity (Section 3.2 / tests.test_incorrect_per_segment_locking).
-        lock = handle.lock(extent.start, extent.stop, mode=LockMode.EXCLUSIVE)
-        out.locks_acquired = 1
-        out.extra["locked_bytes"] = float(extent.length)
-        try:
-            for buf_off, file_off, length in region.buffer_map():
-                handle.write(file_off, data[buf_off : buf_off + length], direct=True)
-                out.bytes_written += length
-                out.segments_written += 1
-        finally:
-            handle.unlock(lock)
-        out.end_time = handle.clock.now
-        return out
+        plan = self._plan(
+            region,
+            locks=[LockDirective(extent.start, extent.stop)],
+            phases=[PhasePlan(index=0, steps=self._steps(region.buffer_map()), direct=True)],
+            extra={"locked_bytes": float(extent.length)},
+        )
+        return plan, {USER_PAYLOAD: data}
 
 
-class GraphColoringStrategy(AtomicityStrategy):
+@register_strategy
+class GraphColoringStrategy(PipelineStrategy):
     """Process handshaking by graph colouring (Section 3.3.1)."""
 
     name = "graph-coloring"
 
+    exchange = ViewExchange(enabled=True)
+    analysis = ConflictAnalysis(mode="coloring")
+
     def __init__(self, use_cache: bool = True) -> None:
         self.use_cache = use_cache
 
-    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
-        self._check_request(region, data)
-        out = WriteOutcome(
-            strategy=self.name,
-            rank=region.rank,
-            bytes_requested=region.total_bytes,
-            start_time=handle.clock.now,
-        )
-        # Handshake: every process learns every other process's file view and
-        # independently computes the identical colouring.
-        regions = self._exchange_views(comm, region)
-        overlap = build_overlap_matrix(regions)
-        coloring: ColoringResult = greedy_coloring(overlap)
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
+        coloring: ColoringResult = report.coloring
         my_color = coloring.color_of(region.rank)
-        out.phases = max(coloring.num_colors, 1)
-        out.colors_used = coloring.num_colors
-        out.my_phase = my_color
-
+        steps = [] if region.is_empty() else self._steps(region.buffer_map())
+        phases = []
         for step in range(max(coloring.num_colors, 1)):
-            if step == my_color and not region.is_empty():
-                for buf_off, file_off, length in region.buffer_map():
-                    handle.write(
-                        file_off, data[buf_off : buf_off + length], direct=not self.use_cache
-                    )
-                    out.bytes_written += length
-                    out.segments_written += 1
-                # Flush write-behind data so the next colour's processes (and
-                # later readers) observe it — the file-sync the paper requires
-                # after every write when handshaking replaces locking.
-                handle.sync()
-            # No process of colour step+1 may start before colour step finishes.
-            comm.barrier()
-        out.end_time = handle.clock.now
-        return out
+            mine = step == my_color and bool(steps)
+            phases.append(
+                PhasePlan(
+                    index=step,
+                    steps=steps if mine else [],
+                    direct=not self.use_cache,
+                    # Flush write-behind data so the next colour's processes
+                    # (and later readers) observe it — the file-sync the paper
+                    # requires after every write when handshaking replaces
+                    # locking.
+                    sync_after=mine,
+                    # No process of colour step+1 may start before colour
+                    # step finishes.
+                    barrier_after=True,
+                )
+            )
+        plan = self._plan(
+            region,
+            phases=phases,
+            my_phase=my_color,
+            colors_used=coloring.num_colors,
+        )
+        return plan, {USER_PAYLOAD: data}
 
 
-class RankOrderingStrategy(AtomicityStrategy):
+@register_strategy
+class RankOrderingStrategy(PipelineStrategy):
     """Process-rank ordering (Section 3.3.2): high rank wins, others trim."""
 
     name = "rank-ordering"
 
+    exchange = ViewExchange(enabled=True)
+
     def __init__(self, policy: PriorityPolicy = HIGHER_RANK_WINS, use_cache: bool = True) -> None:
         self.policy = policy
         self.use_cache = use_cache
+        self.analysis = ConflictAnalysis(mode="rank-order", policy=policy)
 
-    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
-        self._check_request(region, data)
-        out = WriteOutcome(
-            strategy=self.name,
-            rank=region.rank,
-            bytes_requested=region.total_bytes,
-            start_time=handle.clock.now,
-        )
-        # Handshake: exchange exact file views (byte ranges, not just a bit).
-        regions = self._exchange_views(comm, region)
-        resolution = resolve_by_rank(regions, policy=self.policy)
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
+        resolution = report.ordering
         my_view = resolution.view_of(region.rank)
-        out.bytes_surrendered = resolution.surrendered_bytes[region.rank]
-
         # Write only the bytes this rank still owns; the data for surrendered
         # bytes is simply not transferred (reducing the total I/O volume).
-        for buf_off, file_off, length in region.buffer_map_restricted(my_view.coverage):
-            handle.write(file_off, data[buf_off : buf_off + length], direct=not self.use_cache)
-            out.bytes_written += length
-            out.segments_written += 1
-        handle.sync()
-        out.end_time = handle.clock.now
-        return out
+        phase = PhasePlan(
+            index=0,
+            steps=self._steps(region.buffer_map_restricted(my_view.coverage)),
+            direct=not self.use_cache,
+            sync_after=True,
+        )
+        plan = self._plan(
+            region,
+            phases=[phase],
+            bytes_surrendered=resolution.surrendered_bytes[region.rank],
+        )
+        return plan, {USER_PAYLOAD: data}
 
 
-STRATEGY_NAMES: Tuple[str, ...] = ("locking", "graph-coloring", "rank-ordering", "none")
+@register_strategy
+class TwoPhaseStrategy(PipelineStrategy):
+    """Two-phase aggregation (ROMIO-style collective buffering).
+
+    Phase 1 (shuffle): the aggregate file domain — the union of every rank's
+    view — is partitioned among elected aggregator ranks; every rank ships
+    the data for each covered byte to that byte's aggregator through an
+    ``alltoallv`` exchange, and the aggregator merges the incoming pieces,
+    giving contested bytes to the highest-priority covering rank (the same
+    winner process-rank ordering picks, so the two strategies are
+    byte-for-byte comparable).
+
+    Phase 2 (write): each aggregator writes its merged, pairwise-disjoint
+    extents fully in parallel — no locks, no inter-phase barriers — with the
+    originating rank recorded as each run's provenance.
+    """
+
+    name = "two-phase"
+
+    exchange = ViewExchange(enabled=True)
+
+    def __init__(
+        self,
+        num_aggregators: Optional[int] = None,
+        policy: PriorityPolicy = HIGHER_RANK_WINS,
+    ) -> None:
+        if num_aggregators is not None and num_aggregators <= 0:
+            raise ValueError("num_aggregators must be positive")
+        self.num_aggregators = num_aggregators
+        self.policy = policy
+
+    def _surrendered_bytes(self, region: FileRegionSet, regions) -> int:
+        """Bytes of this rank's view that a higher-priority rank also covers.
+
+        The merge on the aggregators resolves contested bytes by the same
+        ``(priority, -rank)`` order — ties break towards the lower rank, as
+        in :func:`resolve_by_rank` — so this local O(P) set computation
+        equals what a full rank-ordering negotiation would report without
+        re-running the exact trimming on every rank.
+        """
+        mine = (self.policy(region.rank), -region.rank)
+        higher = [
+            r.coverage for r in regions if (self.policy(r.rank), -r.rank) > mine
+        ]
+        if not higher:
+            return 0
+        claimed = merge_interval_sets(higher)
+        return region.coverage.intersection(claimed).total_bytes
+
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
+        regions = report.regions
+        domain = merge_interval_sets([r.coverage for r in regions])
+        want = self.num_aggregators if self.num_aggregators is not None else comm.size
+        aggregators = choose_aggregators(comm.size, want)
+        chunks = partition_domain(domain, len(aggregators))
+
+        # Phase 1 — shuffle: ship each covered byte to its chunk's aggregator.
+        sendbufs: List[List[Tuple[int, bytes]]] = [[] for _ in range(comm.size)]
+        shuffled = 0
+        for chunk, agg_rank in zip(chunks, aggregators):
+            for buf_off, file_off, length in region.buffer_map_restricted(chunk):
+                sendbufs[agg_rank].append((file_off, data[buf_off : buf_off + length]))
+                shuffled += length
+        received = comm.alltoallv(sendbufs)
+
+        # Merge (aggregators only): later-priority data overwrites earlier.
+        steps: List[WriteStep] = []
+        buffer = bytearray()
+        if region.rank in aggregators:
+            runs = merge_pieces(list(enumerate(received)), policy=self.policy)
+            for run in runs:
+                steps.append(
+                    WriteStep(
+                        buffer_offset=len(buffer),
+                        file_offset=run.offset,
+                        length=run.length,
+                        source=AGGREGATE_PAYLOAD,
+                        writer=run.origin,
+                    )
+                )
+                buffer.extend(run.data)
+
+        # Phase 2 — parallel disjoint writes of the aggregated extents.
+        plan = self._plan(
+            region,
+            phases=[PhasePlan(index=1, steps=steps, direct=True)],
+            reported_phases=2,
+            my_phase=1 if region.rank in aggregators else 0,
+            bytes_surrendered=self._surrendered_bytes(region, regions),
+            extra={
+                "aggregators": float(len(aggregators)),
+                "shuffled_bytes": float(shuffled),
+            },
+        )
+        return plan, {USER_PAYLOAD: data, AGGREGATE_PAYLOAD: bytes(buffer)}
 
 
 def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:
-    """Instantiate a strategy from its short name."""
-    table = {
-        "locking": LockingStrategy,
-        "graph-coloring": GraphColoringStrategy,
-        "rank-ordering": RankOrderingStrategy,
-        "none": NoAtomicityStrategy,
-    }
-    try:
-        cls = table[name]
-    except KeyError:
-        raise KeyError(f"unknown strategy {name!r}; known: {sorted(table)}") from None
-    return cls(**kwargs)
+    """Instantiate a strategy from its registered short name."""
+    return default_registry.create(name, **kwargs)
+
+
+#: The built-in strategy names, frozen at import of this module (kept for
+#: backwards compatibility).  Strategies registered later do NOT appear here;
+#: query :data:`repro.core.registry.default_registry` for the live set.
+STRATEGY_NAMES: Tuple[str, ...] = default_registry.names()

@@ -19,7 +19,7 @@ Every operation charges virtual time:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..mpi.clock import VirtualClock
 from .cache import CachePolicy, ClientCache
@@ -104,11 +104,13 @@ class ClientFileHandle:
             completion = max(completion, end)
         self.clock.advance_to(completion)
 
-    def _timed_store(self, offset: int, data: bytes) -> None:
+    def _timed_store(self, offset: int, data: bytes, writer: Optional[int] = None) -> None:
         """Server write including virtual-time charging (used by the cache
         write-back path and by direct writes)."""
         self._charge_transfer(offset, len(data))
-        self.file.server_write(offset, data, writer=self.client.client_id)
+        self.file.server_write(
+            offset, data, writer=self.client.client_id if writer is None else writer
+        )
 
     def _timed_fetch(self, offset: int, nbytes: int) -> bytes:
         """Server read including virtual-time charging."""
@@ -121,13 +123,24 @@ class ClientFileHandle:
 
     # -- data path -----------------------------------------------------------------------
 
-    def write(self, offset: int, data: bytes, direct: bool = False) -> int:
+    def write(
+        self,
+        offset: int,
+        data: bytes,
+        direct: bool = False,
+        writer: Optional[int] = None,
+    ) -> int:
         """Write ``data`` at ``offset``.
 
         ``direct=True`` bypasses the client cache and goes straight to the
         servers — the behaviour of writes performed under a byte-range lock
         ("all read/write requests to it will directly go to the file server",
         Section 3 of the paper).
+
+        ``writer`` overrides the provenance recorded by the byte store: a
+        two-phase aggregator writes *on behalf of* the rank whose data won
+        the merge.  Provenance overrides always go straight to the servers
+        (the cache write-back path carries no per-byte attribution).
         """
         self._check_open()
         if offset < 0:
@@ -135,14 +148,34 @@ class ClientFileHandle:
         data = bytes(data)
         if not data:
             return 0
-        if direct or not self._caching:
-            self._timed_store(offset, data)
+        if direct or not self._caching or writer is not None:
+            self._timed_store(offset, data, writer=writer)
         else:
             # Write-behind: pay only a memory copy now; servers are charged
             # when the dirty pages are flushed.
             self.clock.advance(len(data) / _MEMCPY_BANDWIDTH)
             self.cache.write(offset, data)
         return len(data)
+
+    def write_batch(
+        self,
+        writes: Sequence[Tuple],
+        direct: bool = False,
+    ) -> int:
+        """Apply a plan's batched writes: ``(offset, data)`` or
+        ``(offset, data, writer)`` items, in order.
+
+        This is the execution entry point of the staged write pipeline
+        (:class:`repro.core.pipeline.PhaseRunner`): one call per phase, with
+        the phase's cache policy applied uniformly.  Returns total bytes
+        written.
+        """
+        total = 0
+        for item in writes:
+            offset, data = item[0], item[1]
+            writer = item[2] if len(item) > 2 else None
+            total += self.write(offset, data, direct=direct, writer=writer)
+        return total
 
     def read(self, offset: int, nbytes: int, direct: bool = False) -> bytes:
         """Read ``nbytes`` at ``offset`` (through the cache unless ``direct``)."""

@@ -8,7 +8,7 @@ rendezvous area for collectives — while each rank holds its own
 
 * ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``sendrecv``
 * ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
-  ``alltoall``, ``reduce``, ``allreduce``, ``scan``
+  ``alltoall``, ``alltoallv``, ``reduce``, ``allreduce``, ``scan``
 * ``split`` / ``dup``
 
 Collectives follow MPI semantics: every rank of the communicator must call
@@ -62,6 +62,31 @@ class CommCostModel:
                 except TypeError:
                     nbytes = 0
         return self.latency + self.byte_cost * float(nbytes)
+
+
+class _Volume:
+    """A payload stand-in carrying only a byte count for cost charging."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Best-effort byte volume of a (possibly nested) payload."""
+    if obj is None:
+        return 0
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(_payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(_payload_nbytes(value) for value in obj.values())
+    return 0
 
 
 class _Mailbox:
@@ -310,6 +335,30 @@ class Communicator:
         g = self._group
         g.slots[self._rank] = list(objs)
         self._collective_sync("alltoall", objs)
+        result = [g.slots[src][self._rank] for src in range(self.size)]
+        g.barrier.wait()
+        return result
+
+    def alltoallv(self, objs: Sequence[Any]) -> List[Any]:
+        """Variable-volume all-to-all (``MPI_Alltoallv``-style exchange).
+
+        Semantically identical to :meth:`alltoall` — rank *i*'s ``objs[j]``
+        goes to rank *j* — but the virtual-time cost is charged on the
+        *actual payload bytes* this rank sends (summed over destinations,
+        recursing into lists/tuples/dicts of buffers), not on the outer item
+        count.  Self-destined data (``objs[rank]``) is free: a real MPI
+        implementation moves it with a local copy, never the network.  This
+        is the exchange primitive of the two-phase aggregation shuffle,
+        where per-destination volumes are highly non-uniform.
+        """
+        if len(objs) != self.size:
+            raise CommunicatorError("alltoallv requires exactly `size` items")
+        g = self._group
+        g.slots[self._rank] = list(objs)
+        network_bytes = sum(
+            _payload_nbytes(obj) for dest, obj in enumerate(objs) if dest != self._rank
+        )
+        self._collective_sync("alltoallv", _Volume(network_bytes))
         result = [g.slots[src][self._rank] for src in range(self.size)]
         g.barrier.wait()
         return result

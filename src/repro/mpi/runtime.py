@@ -14,6 +14,7 @@ deadlock, so the barrier is aborted on failure).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -22,6 +23,10 @@ from .comm import CommCostModel, Communicator, _CommGroup
 from .errors import SPMDExecutionError
 
 __all__ = ["SPMDResult", "run_spmd"]
+
+#: How long ranks released by the barrier abort get to unwind before being
+#: reported as timed out.
+_TIMEOUT_GRACE_SECONDS = 1.0
 
 
 @dataclass
@@ -71,7 +76,13 @@ def run_spmd(
     comm_cost:
         Optional virtual-time cost model for communication operations.
     timeout:
-        Wall-clock safety net in seconds per rank join; ``None`` disables it.
+        Wall-clock safety net in seconds for the whole group; ``None``
+        disables it.  On expiry the group's barrier is aborted (releasing
+        ranks stuck in a collective), the remaining threads are joined
+        briefly so they can unwind, and every rank that had not finished at
+        the deadline is reported by number in the raised
+        :class:`SPMDExecutionError` — even if it completed during the grace
+        period, since it exceeded the budget either way.
 
     Returns
     -------
@@ -107,13 +118,40 @@ def run_spmd(
     ]
     for t in threads:
         t.start()
-    for t in threads:
-        t.join(timeout)
-        if t.is_alive():
+    if timeout is None:
+        for t in threads:
+            t.join()
+    else:
+        # The timeout is a budget for the whole group, not per join: the
+        # deadline is shared so a slow rank cannot extend the others' budget.
+        deadline = time.monotonic() + timeout
+        for t in threads:
+            t.join(max(0.0, deadline - time.monotonic()))
+        unfinished = [rank for rank, t in enumerate(threads) if t.is_alive()]
+        if unfinished:
+            # Abort the group so ranks stuck in a collective with a dead or
+            # slow peer are released, give them a short grace period to
+            # unwind (so their threads do not dangle), then report every
+            # rank that had not finished at the deadline — by rank number,
+            # not a generic sentinel.  The timeout entries also take
+            # precedence over the BrokenBarrierError the abort provokes in
+            # ranks that were blocked in a collective, so the root cause
+            # (timeout) is not masked by its own cleanup.
             group.barrier.abort()
-            raise SPMDExecutionError(
-                {**failures, -1: TimeoutError(f"rank thread {t.name} did not finish")}
-            )
+            grace_deadline = time.monotonic() + _TIMEOUT_GRACE_SECONDS
+            for rank in unfinished:
+                threads[rank].join(max(0.0, grace_deadline - time.monotonic()))
+            timeouts = {
+                rank: TimeoutError(
+                    f"rank {rank} did not finish within the {timeout}s timeout"
+                )
+                for rank in unfinished
+            }
+            # Ranks that outlived the grace period may still be running and
+            # mutating `failures`; snapshot it under the lock.
+            with failure_lock:
+                snapshot = dict(failures)
+            raise SPMDExecutionError({**snapshot, **timeouts})
 
     if failures:
         raise SPMDExecutionError(failures)

@@ -39,6 +39,9 @@ __all__ = [
     "row_wise_views",
     "block_block_views",
     "spec_to_segments",
+    "PATTERN_NAMES",
+    "process_grid",
+    "views_for_pattern",
 ]
 
 
@@ -167,6 +170,40 @@ def block_block_views(
         block_block_spec(M, N, Pr, Pc, rank, R, itemsize).segments()
         for rank in range(Pr * Pc)
     ]
+
+
+#: Partitioning patterns the benchmark harness can sweep.
+PATTERN_NAMES: Tuple[str, ...] = ("column-wise", "row-wise", "block-block")
+
+
+def process_grid(P: int) -> Tuple[int, int]:
+    """Factor ``P`` into the most square ``Pr x Pc`` process grid (Pr <= Pc)."""
+    if P <= 0:
+        raise ValueError("P must be positive")
+    pr = int(P ** 0.5)
+    while P % pr:
+        pr -= 1
+    return pr, P // pr
+
+
+def views_for_pattern(
+    pattern: str, M: int, N: int, P: int, R: int = 0, itemsize: int = 1
+) -> List[List[Tuple[int, int]]]:
+    """Per-rank flattened file views for a named partitioning pattern.
+
+    ``"column-wise"`` and ``"row-wise"`` are the 1-D splits of Figure 3;
+    ``"block-block"`` lays the ranks out on the most square ``Pr x Pc`` grid
+    (Figure 1's ghost-cell pattern).  This is the selection point the
+    benchmark harness uses to sweep patterns.
+    """
+    if pattern == "column-wise":
+        return column_wise_views(M, N, P, R, itemsize)
+    if pattern == "row-wise":
+        return row_wise_views(M, N, P, R, itemsize)
+    if pattern == "block-block":
+        Pr, Pc = process_grid(P)
+        return block_block_views(M, N, Pr, Pc, R, itemsize)
+    raise ValueError(f"unknown pattern {pattern!r}; known: {PATTERN_NAMES}")
 
 
 def _validate(M: int, N: int, P: int, rank: int, R: int, itemsize: int) -> None:

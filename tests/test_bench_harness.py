@@ -1,0 +1,97 @@
+"""Tests for the registry-driven benchmark harness: pattern selection,
+machine capability filtering and the CI smoke target."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import (
+    run_column_wise_experiment,
+    run_figure8_grid,
+    strategies_for_machine,
+)
+from repro.bench.machines import CPLANT, ORIGIN2000
+from repro.bench.smoke import main as smoke_main, run_smoke
+from repro.core.registry import default_registry
+from repro.patterns.partition import (
+    PATTERN_NAMES,
+    process_grid,
+    views_for_pattern,
+)
+
+
+class TestPatternSelection:
+    def test_process_grid_near_square(self):
+        assert process_grid(4) == (2, 2)
+        assert process_grid(8) == (2, 4)
+        assert process_grid(16) == (4, 4)
+        assert process_grid(7) == (1, 7)
+
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    def test_views_cover_p_ranks(self, pattern):
+        views = views_for_pattern(pattern, M=16, N=64, P=4, R=2)
+        assert len(views) == 4
+        assert all(views)
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            views_for_pattern("diagonal", M=16, N=64, P=4)
+
+    @pytest.mark.parametrize("pattern", PATTERN_NAMES)
+    @pytest.mark.parametrize("strategy", ["rank-ordering", "two-phase"])
+    def test_experiment_sweeps_patterns(self, pattern, strategy):
+        record = run_column_wise_experiment(
+            ORIGIN2000, M=16, N=256, nprocs=4, strategy=strategy,
+            overlap_columns=2, pattern=pattern,
+        )
+        assert record.pattern == pattern
+        assert record.atomic_ok
+        assert record.bytes_written > 0
+
+
+class TestRegistryDrivenGrid:
+    def test_default_strategies_come_from_registry(self):
+        table = run_figure8_grid(
+            machines=[ORIGIN2000],
+            array_labels=["32MB"],
+            process_counts=[4],
+            row_scale=256,
+            verify=True,
+        )
+        assert {r.strategy for r in table} == set(default_registry.atomic_names())
+        assert all(r.atomic_ok for r in table)
+
+    def test_two_phase_in_grid_passes_atomicity(self):
+        table = run_figure8_grid(
+            machines=[ORIGIN2000],
+            array_labels=["32MB"],
+            process_counts=[4],
+            strategies=["two-phase"],
+            row_scale=256,
+            verify=True,
+        )
+        assert len(table) == 1
+        record = table.records[0]
+        assert record.strategy == "two-phase"
+        assert record.atomic_ok
+        assert record.phases == 2
+
+    def test_capability_filter_drops_lock_strategies(self):
+        names = list(default_registry.atomic_names())
+        kept = strategies_for_machine(CPLANT, names)
+        assert "locking" not in kept
+        assert set(kept) == set(names) - {"locking"}
+        assert strategies_for_machine(ORIGIN2000, names) == names
+
+
+class TestSmokeTarget:
+    def test_run_smoke_covers_every_atomic_strategy(self):
+        table = run_smoke()
+        assert {r.strategy for r in table} == set(default_registry.atomic_names())
+        assert all(r.atomic_ok for r in table)
+
+    def test_main_exit_code_ok(self, capsys):
+        assert smoke_main([]) == 0
+        out = capsys.readouterr().out
+        assert "two-phase" in out
+        assert "smoke ok" in out

@@ -1,0 +1,424 @@
+"""Tests for the staged collective-write pipeline, the strategy registry and
+the two-phase aggregation strategy.
+
+The equivalence tests pin the per-rank ``WriteOutcome`` accounting (phases,
+locks_acquired, bytes written/surrendered) of the three legacy strategies to
+the exact values the pre-refactor monolithic implementations produced, so the
+pipeline decomposition is behaviour-preserving by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import choose_aggregators, merge_pieces, partition_domain
+from repro.core.coloring import greedy_coloring
+from repro.core.executor import AtomicWriteExecutor
+from repro.core.intervals import IntervalSet
+from repro.core.overlap import build_overlap_matrix
+from repro.core.pipeline import (
+    ConflictAnalysis,
+    LockDirective,
+    PhasePlan,
+    PhaseRunner,
+    ViewExchange,
+    WritePlan,
+    WriteStep,
+)
+from repro.core.rank_ordering import LOWER_RANK_WINS, resolve_by_rank
+from repro.core.regions import FileRegionSet, build_region_sets
+from repro.core.registry import StrategyRegistry, default_registry
+from repro.core.strategies import (
+    GraphColoringStrategy,
+    LockingStrategy,
+    NoAtomicityStrategy,
+    PipelineStrategy,
+    RankOrderingStrategy,
+    TwoPhaseStrategy,
+    WriteOutcome,
+)
+from repro.fs import ParallelFileSystem
+from repro.fs.client import FSClient
+from repro.mpi import run_spmd
+from repro.patterns.partition import block_block_views, column_wise_views
+from repro.patterns.workloads import rank_pattern_bytes
+from repro.verify.atomicity import check_coverage, check_mpi_atomicity
+from tests.conftest import fast_fs_config
+
+
+VIEWS = column_wise_views(M=16, N=128, P=4, R=4)
+REGIONS = build_region_sets(VIEWS)
+
+
+def run(strategy, fs=None, nprocs=4, views=None, data_factory=rank_pattern_bytes):
+    fs = fs or ParallelFileSystem(fast_fs_config())
+    views = views or VIEWS
+    executor = AtomicWriteExecutor(fs, strategy, filename="p.dat")
+    return executor.run(nprocs, lambda rank, P: views[rank], data_factory)
+
+
+class TestViewExchange:
+    def test_allgathers_every_view(self):
+        def fn(comm):
+            region = REGIONS[comm.rank]
+            regions = ViewExchange(enabled=True).run(comm, region)
+            return [r.segments for r in regions]
+
+        result = run_spmd(fn, 4)
+        expected = [REGIONS[r].segments for r in range(4)]
+        for per_rank in result.returns:
+            assert per_rank == expected
+
+    def test_disabled_is_noop(self):
+        # No communicator interaction at all: comm=None must not be touched.
+        assert ViewExchange(enabled=False).run(None, REGIONS[0]) is None
+
+
+class TestConflictAnalysis:
+    def test_mode_none(self):
+        report = ConflictAnalysis(mode="none").run(REGIONS)
+        assert report.regions == REGIONS
+        assert report.overlap is None and report.coloring is None and report.ordering is None
+
+    def test_coloring_matches_direct_computation(self):
+        report = ConflictAnalysis(mode="coloring").run(REGIONS)
+        direct = greedy_coloring(build_overlap_matrix(REGIONS))
+        assert report.coloring.colors == direct.colors
+        assert report.coloring.num_colors == direct.num_colors == 2
+
+    def test_rank_order_matches_direct_computation(self):
+        report = ConflictAnalysis(mode="rank-order").run(REGIONS)
+        direct = resolve_by_rank(REGIONS)
+        assert report.ordering.surrendered_bytes == direct.surrendered_bytes
+
+    def test_rank_order_policy_forwarded(self):
+        report = ConflictAnalysis(mode="rank-order", policy=LOWER_RANK_WINS).run(REGIONS)
+        direct = resolve_by_rank(REGIONS, policy=LOWER_RANK_WINS)
+        assert report.ordering.surrendered_bytes == direct.surrendered_bytes
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ConflictAnalysis(mode="quantum")
+
+
+class TestPhaseRunner:
+    """Direct plan execution against a single-rank world."""
+
+    def _execute(self, plan, payloads, fs=None):
+        fs = fs or ParallelFileSystem(fast_fs_config())
+
+        def fn(comm):
+            client = FSClient(fs, client_id=comm.rank, clock=comm.clock)
+            handle = client.open("runner.dat")
+            try:
+                return PhaseRunner().execute(comm, handle, plan, payloads)
+            finally:
+                handle.close()
+
+        outcome = run_spmd(fn, 1).returns[0]
+        return outcome, fs.lookup("runner.dat")
+
+    def test_steps_locks_and_accounting(self):
+        plan = WritePlan(
+            strategy="manual",
+            rank=0,
+            bytes_requested=8,
+            locks=[LockDirective(0, 8)],
+            phases=[
+                PhasePlan(index=0, steps=[WriteStep(0, 0, 4)], direct=True),
+                PhasePlan(index=1, steps=[WriteStep(4, 4, 4)], direct=True),
+            ],
+        )
+        outcome, fobj = self._execute(plan, {"user": b"abcdWXYZ"})
+        assert isinstance(outcome, WriteOutcome)
+        assert outcome.bytes_written == 8
+        assert outcome.segments_written == 2
+        assert outcome.locks_acquired == 1
+        assert outcome.phases == 2
+        assert fobj.store.read(0, 8) == b"abcdWXYZ"
+
+    def test_empty_plan_reports_one_phase(self):
+        plan = WritePlan(strategy="manual", rank=0, bytes_requested=0)
+        outcome, _ = self._execute(plan, {"user": b""})
+        assert outcome.phases == 1
+        assert outcome.bytes_written == 0
+
+    def test_writer_override_recorded_as_provenance(self):
+        plan = WritePlan(
+            strategy="manual",
+            rank=0,
+            bytes_requested=4,
+            phases=[PhasePlan(index=0, steps=[WriteStep(0, 0, 4, writer=7)], direct=True)],
+        )
+        _, fobj = self._execute(plan, {"user": b"data"})
+        assert fobj.store.distinct_writers(0, 4) == (7,)
+
+    def test_reported_phases_override(self):
+        plan = WritePlan(
+            strategy="manual",
+            rank=0,
+            bytes_requested=0,
+            phases=[PhasePlan(index=0)],
+            reported_phases=2,
+        )
+        outcome, _ = self._execute(plan, {"user": b""})
+        assert outcome.phases == 2
+
+
+class TestLegacyEquivalence:
+    """The stage compositions reproduce the pre-refactor accounting exactly."""
+
+    def test_locking_accounting(self):
+        result = run(LockingStrategy())
+        for rank, outcome in enumerate(result.outcomes):
+            region = result.regions[rank]
+            assert outcome.strategy == "locking"
+            assert outcome.locks_acquired == 1
+            assert outcome.phases == 1
+            assert outcome.bytes_written == outcome.bytes_requested == region.total_bytes
+            assert outcome.segments_written == region.num_segments
+            assert outcome.extra["locked_bytes"] == float(region.extent_bytes())
+
+    def test_graph_coloring_accounting(self):
+        result = run(GraphColoringStrategy())
+        coloring = greedy_coloring(build_overlap_matrix(result.regions))
+        for rank, outcome in enumerate(result.outcomes):
+            assert outcome.phases == coloring.num_colors == 2
+            assert outcome.colors_used == coloring.num_colors
+            assert outcome.my_phase == coloring.color_of(rank)
+            assert outcome.bytes_written == outcome.bytes_requested
+            assert outcome.locks_acquired == 0
+
+    def test_rank_ordering_accounting(self):
+        result = run(RankOrderingStrategy())
+        resolution = resolve_by_rank(result.regions)
+        for rank, outcome in enumerate(result.outcomes):
+            assert outcome.bytes_surrendered == resolution.surrendered_bytes[rank]
+            assert (
+                outcome.bytes_written
+                == outcome.bytes_requested - outcome.bytes_surrendered
+            )
+            assert outcome.phases == 1
+            assert outcome.locks_acquired == 0
+
+    def test_baseline_accounting(self):
+        result = run(NoAtomicityStrategy())
+        for rank, outcome in enumerate(result.outcomes):
+            region = result.regions[rank]
+            assert outcome.bytes_written == region.total_bytes
+            assert outcome.segments_written == region.num_segments
+            assert outcome.phases == 1
+
+
+class TestAggregationHelpers:
+    def test_choose_aggregators_even_spacing(self):
+        assert choose_aggregators(8, 8) == list(range(8))
+        assert choose_aggregators(8, 2) == [0, 4]
+        assert choose_aggregators(8, 3) == [0, 2, 5]
+        assert choose_aggregators(4, 99) == [0, 1, 2, 3]
+
+    def test_partition_domain_balanced_and_disjoint(self):
+        domain = IntervalSet.from_segments([(0, 10), (20, 10), (40, 5)])
+        chunks = partition_domain(domain, 3)
+        assert len(chunks) == 3
+        sizes = [c.total_bytes for c in chunks]
+        assert sum(sizes) == 25
+        assert max(sizes) - min(sizes) <= 1
+        # Chunks are pairwise disjoint and cover the domain in file order.
+        union = chunks[0]
+        for c in chunks[1:]:
+            assert not union.overlaps(c)
+            union = union.union(c)
+        assert union == domain
+
+    def test_partition_domain_more_chunks_than_bytes(self):
+        domain = IntervalSet.from_segments([(0, 2)])
+        chunks = partition_domain(domain, 4)
+        assert sum(c.total_bytes for c in chunks) == 2
+        assert sum(1 for c in chunks if c.is_empty()) == 2
+
+    def test_merge_pieces_highest_priority_wins(self):
+        pieces = [
+            (0, [(0, b"aaaa")]),
+            (1, [(2, b"bbbb")]),
+        ]
+        runs = merge_pieces(pieces)
+        assert [(r.offset, r.data, r.origin) for r in runs] == [
+            (0, b"aa", 0),
+            (2, b"bbbb", 1),
+        ]
+
+    def test_merge_pieces_policy_reversed(self):
+        pieces = [
+            (0, [(0, b"aaaa")]),
+            (1, [(2, b"bbbb")]),
+        ]
+        runs = merge_pieces(pieces, policy=LOWER_RANK_WINS)
+        assert [(r.offset, r.data, r.origin) for r in runs] == [
+            (0, b"aaaa", 0),
+            (4, b"bb", 1),
+        ]
+
+    def test_merge_pieces_keeps_gaps(self):
+        runs = merge_pieces([(3, [(0, b"xx"), (10, b"yy")])])
+        assert [(r.offset, r.origin) for r in runs] == [(0, 3), (10, 3)]
+
+    def test_merge_pieces_sparse_span_stays_cheap(self):
+        """Memory scales with covered bytes, not the offset span: pieces a
+        terabyte apart must merge instantly."""
+        far = 10**12
+        runs = merge_pieces([(0, [(0, b"aa")]), (1, [(far, b"bb")])])
+        assert [(r.offset, r.data, r.origin) for r in runs] == [
+            (0, b"aa", 0),
+            (far, b"bb", 1),
+        ]
+
+    def test_merge_pieces_empty(self):
+        assert merge_pieces([(0, []), (1, [])]) == []
+
+    def test_merge_pieces_priority_tie_breaks_toward_lower_rank(self):
+        """A non-injective policy ties like resolve_by_rank: lower rank wins."""
+        constant = lambda rank: 0  # noqa: E731
+        runs = merge_pieces([(0, [(0, b"aaaa")]), (1, [(0, b"bbbb")])], policy=constant)
+        assert [(r.offset, r.data, r.origin) for r in runs] == [(0, b"aaaa", 0)]
+
+
+class TestTwoPhaseStrategy:
+    def test_atomic_and_complete_column_wise(self):
+        result = run(TwoPhaseStrategy())
+        assert check_mpi_atomicity(result.file.store, result.regions).ok
+        assert check_coverage(result.file.store, result.regions).ok
+
+    def test_atomic_and_complete_block_block(self):
+        views = block_block_views(M=24, N=24, Pr=3, Pc=3, R=2)
+        result = run(TwoPhaseStrategy(), nprocs=9, views=views)
+        assert check_mpi_atomicity(result.file.store, result.regions).ok
+        assert check_coverage(result.file.store, result.regions).ok
+
+    @pytest.mark.parametrize("naggr", [1, 2, 3])
+    def test_aggregator_count_sweep(self, naggr):
+        result = run(TwoPhaseStrategy(num_aggregators=naggr))
+        assert check_mpi_atomicity(result.file.store, result.regions).ok
+        assert check_coverage(result.file.store, result.regions).ok
+        writers = sum(1 for o in result.outcomes if o.bytes_written > 0)
+        assert writers <= naggr
+
+    def test_overlaps_resolved_like_rank_ordering(self):
+        """Per-byte winners match the rank-ordering priority rule."""
+        result = run(TwoPhaseStrategy())
+        store = result.file.store
+        regions = result.regions
+        for i in range(3):
+            overlap = regions[i].overlap_region(regions[i + 1])
+            for iv in overlap:
+                assert store.distinct_writers(iv.start, iv.length) == (i + 1,)
+
+    def test_total_written_equals_domain(self):
+        """Aggregators write every domain byte exactly once."""
+        result = run(TwoPhaseStrategy(num_aggregators=2))
+        from repro.core.intervals import merge_interval_sets
+
+        domain = merge_interval_sets([r.coverage for r in result.regions])
+        assert result.total_bytes_written == domain.total_bytes
+
+    def test_surrendered_accounting_matches_rank_ordering(self):
+        result = run(TwoPhaseStrategy())
+        resolution = resolve_by_rank(result.regions)
+        for rank, outcome in enumerate(result.outcomes):
+            assert outcome.bytes_surrendered == resolution.surrendered_bytes[rank]
+            assert outcome.phases == 2
+
+    def test_constant_policy_ties_match_rank_ordering(self):
+        """With a non-injective policy both the merge and the surrendered
+        accounting still agree with resolve_by_rank's tie-breaking."""
+        constant = lambda rank: 0  # noqa: E731
+        result = run(TwoPhaseStrategy(policy=constant))
+        assert check_mpi_atomicity(result.file.store, result.regions).ok
+        assert check_coverage(result.file.store, result.regions).ok
+        resolution = resolve_by_rank(result.regions, policy=constant)
+        for rank, outcome in enumerate(result.outcomes):
+            assert outcome.bytes_surrendered == resolution.surrendered_bytes[rank]
+
+    def test_data_placement_correct(self):
+        """Winning bytes carry the winning rank's data from the right buffer
+        position, even though an aggregator physically wrote them."""
+        result = run(TwoPhaseStrategy(num_aggregators=2))
+        store = result.file.store
+        for region in result.regions:
+            data = rank_pattern_bytes(region.rank, region.total_bytes)
+            for buf_off, file_off, length in region.buffer_map():
+                if store.distinct_writers(file_off, length) == (region.rank,):
+                    assert store.read(file_off, length) == data[buf_off : buf_off + length]
+
+    def test_lockless_fs_supported(self):
+        from repro.fs.filesystem import LockProtocol
+
+        fs = ParallelFileSystem(fast_fs_config(LockProtocol.NONE))
+        result = run(TwoPhaseStrategy(), fs=fs)
+        assert check_mpi_atomicity(result.file.store, result.regions).ok
+        assert all(o.locks_acquired == 0 for o in result.outcomes)
+
+    def test_invalid_aggregator_count_rejected(self):
+        with pytest.raises(ValueError):
+            TwoPhaseStrategy(num_aggregators=0)
+
+
+class TestStrategyRegistry:
+    def test_default_registry_contents(self):
+        assert set(default_registry.names()) == {
+            "none",
+            "locking",
+            "graph-coloring",
+            "rank-ordering",
+            "two-phase",
+        }
+        assert "two-phase" in default_registry.atomic_names()
+        assert "none" not in default_registry.atomic_names()
+
+    def test_machine_filtering_uses_capabilities(self):
+        with_locks = default_registry.names_for_machine(supports_locking=True)
+        without = default_registry.names_for_machine(supports_locking=False)
+        assert "locking" in with_locks
+        assert "locking" not in without
+        assert "two-phase" in without
+
+    def test_register_and_create_custom_strategy(self):
+        registry = StrategyRegistry()
+
+        class EchoStrategy(PipelineStrategy):
+            name = "echo"
+
+            def schedule(self, comm, region, data, report):
+                return self._plan(region), {"user": data}
+
+        registry.register(EchoStrategy)
+        assert "echo" in registry
+        assert isinstance(registry.create("echo"), EchoStrategy)
+
+    def test_duplicate_name_rejected(self):
+        registry = StrategyRegistry()
+
+        class A(PipelineStrategy):
+            name = "dup"
+
+            def schedule(self, comm, region, data, report):  # pragma: no cover
+                raise NotImplementedError
+
+        class B(PipelineStrategy):
+            name = "dup"
+
+            def schedule(self, comm, region, data, report):  # pragma: no cover
+                raise NotImplementedError
+
+        registry.register(A)
+        with pytest.raises(ValueError):
+            registry.register(B)
+
+    def test_nameless_class_rejected(self):
+        registry = StrategyRegistry()
+        with pytest.raises(ValueError):
+            registry.register(object)
+
+    def test_unknown_lookup_lists_known(self):
+        with pytest.raises(KeyError, match="two-phase"):
+            default_registry.get("missing-strategy")

@@ -12,6 +12,7 @@ from repro.core.strategies import (
     LockingStrategy,
     NoAtomicityStrategy,
     RankOrderingStrategy,
+    TwoPhaseStrategy,
     strategy_by_name,
 )
 from repro.core.rank_ordering import LOWER_RANK_WINS
@@ -36,15 +37,22 @@ def run(strategy, fs=None, nprocs=4, views=None, data_factory=default_data_facto
 
 class TestStrategyFactory:
     def test_names(self):
-        assert set(STRATEGY_NAMES) == {"locking", "graph-coloring", "rank-ordering", "none"}
+        assert set(STRATEGY_NAMES) == {
+            "locking",
+            "graph-coloring",
+            "rank-ordering",
+            "two-phase",
+            "none",
+        }
 
     def test_lookup(self):
         assert isinstance(strategy_by_name("locking"), LockingStrategy)
         assert isinstance(strategy_by_name("graph-coloring"), GraphColoringStrategy)
         assert isinstance(strategy_by_name("rank-ordering"), RankOrderingStrategy)
         assert isinstance(strategy_by_name("none"), NoAtomicityStrategy)
+        assert isinstance(strategy_by_name("two-phase"), TwoPhaseStrategy)
         with pytest.raises(KeyError):
-            strategy_by_name("two-phase")
+            strategy_by_name("no-such-strategy")
 
     def test_kwargs_forwarded(self):
         s = strategy_by_name("rank-ordering", policy=LOWER_RANK_WINS)

@@ -12,6 +12,7 @@ from repro.core.strategies import (
     LockingStrategy,
     NoAtomicityStrategy,
     RankOrderingStrategy,
+    TwoPhaseStrategy,
 )
 from repro.fs import ParallelFileSystem, enfs_config, gpfs_config, xfs_config
 from repro.fs.client import FSClient
@@ -25,6 +26,7 @@ STRATEGIES = {
     "locking": LockingStrategy,
     "graph-coloring": GraphColoringStrategy,
     "rank-ordering": RankOrderingStrategy,
+    "two-phase": TwoPhaseStrategy,
 }
 
 PRESETS = {"ENFS": enfs_config, "XFS": xfs_config, "GPFS": gpfs_config}

@@ -122,4 +122,4 @@ class TestMechanismDiagnostics:
         )
         strategies = {r.strategy for r in table}
         assert "locking" not in strategies
-        assert strategies == {"graph-coloring", "rank-ordering"}
+        assert strategies == {"graph-coloring", "rank-ordering", "two-phase"}

@@ -88,6 +88,58 @@ class TestGatherScatter:
         with pytest.raises(SPMDExecutionError):
             run_spmd(fn, 3)
 
+    def test_alltoallv_routes_variable_payloads(self):
+        def fn(comm):
+            # Rank r sends r pieces to each destination (non-uniform volume).
+            sendbuf = [
+                [(comm.rank, j)] * comm.rank for j in range(comm.size)
+            ]
+            return comm.alltoallv(sendbuf)
+
+        result = run_spmd(fn, 3)
+        assert result.returns[1] == [[], [(1, 1)], [(2, 1), (2, 1)]]
+
+    def test_alltoallv_wrong_length(self):
+        def fn(comm):
+            return comm.alltoallv([b"x"])
+
+        with pytest.raises(SPMDExecutionError):
+            run_spmd(fn, 3)
+
+    def test_alltoallv_charges_payload_bytes(self):
+        from repro.mpi import CommCostModel
+
+        def fn(comm):
+            before = comm.clock.now
+            payload = [
+                [] if dest == comm.rank else [(0, b"x" * 1000)]
+                for dest in range(comm.size)
+            ]
+            comm.alltoallv(payload)
+            return comm.clock.now - before
+
+        # byte_cost dominates: 1000 payload bytes -> 1e-5 s, far above the
+        # per-operation latency of 1e-6 s an item-count charge would give.
+        result = run_spmd(fn, 2, comm_cost=CommCostModel(latency=1e-6, byte_cost=1e-8))
+        assert all(elapsed >= 1000 * 1e-8 for elapsed in result.returns)
+
+    def test_alltoallv_self_data_is_free(self):
+        from repro.mpi import CommCostModel
+
+        def fn(comm):
+            before = comm.clock.now
+            payload = [
+                [(0, b"x" * 100000)] if dest == comm.rank else []
+                for dest in range(comm.size)
+            ]
+            got = comm.alltoallv(payload)
+            assert got[comm.rank] == [(0, b"x" * 100000)]
+            return comm.clock.now - before
+
+        # Self-destined data moves by local copy: only latency is charged.
+        result = run_spmd(fn, 2, comm_cost=CommCostModel(latency=1e-6, byte_cost=1e-8))
+        assert all(elapsed < 100000 * 1e-8 for elapsed in result.returns)
+
 
 class TestReductions:
     def test_allreduce_sum(self):

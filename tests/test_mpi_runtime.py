@@ -58,6 +58,57 @@ class TestRunSPMD:
         result = run_spmd(lambda comm: (comm.Get_rank(), comm.Get_size()), 2)
         assert result.returns == [(0, 2), (1, 2)]
 
+    def test_timeout_reports_unfinished_ranks_by_number(self):
+        import time
+
+        def fn(comm):
+            if comm.rank in (1, 2):
+                time.sleep(8.0)
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 3, timeout=0.2)
+        failures = excinfo.value.failures
+        # Every unfinished rank is reported by number; no generic -1 entry.
+        assert set(failures) == {1, 2}
+        assert all(isinstance(e, TimeoutError) for e in failures.values())
+        assert "rank 1" in str(failures[1])
+
+    def test_timeout_not_swallowed_by_grace_period(self):
+        """A rank that exceeds the deadline but finishes during the grace
+        join must still be reported: the timeout is a hard budget."""
+        import time
+
+        def fn(comm):
+            if comm.rank == 1:
+                time.sleep(0.5)  # beyond the 0.1s deadline, well within grace
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 2, timeout=0.1)
+        failures = excinfo.value.failures
+        assert set(failures) == {1}
+        assert isinstance(failures[1], TimeoutError)
+
+    def test_timeout_releases_ranks_stuck_in_collective(self):
+        import time
+
+        def fn(comm):
+            if comm.rank == 0:
+                time.sleep(8.0)
+            comm.barrier()  # ranks 1..2 block here waiting for rank 0
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 3, timeout=0.2)
+        failures = excinfo.value.failures
+        # All three ranks missed the deadline (rank 0 in sleep, ranks 1-2
+        # blocked in the barrier) and every one is reported as a timeout —
+        # the BrokenBarrierError provoked by the abort must not mask the
+        # root cause.
+        assert set(failures) == {0, 1, 2}
+        assert all(isinstance(e, TimeoutError) for e in failures.values())
+
 
 class TestPointToPoint:
     def test_send_recv(self):
