@@ -1,0 +1,410 @@
+"""Deterministic cooperative discrete-event scheduler.
+
+The SPMD runtime executes every MPI rank as a *task* of one
+:class:`Engine`.  Exactly one task runs at any moment; a task runs until it
+blocks on a synchronisation primitive (collective rendezvous, lock queue,
+message receive), reaches a :meth:`Engine.sequence` point, or finishes.  The
+scheduler then resumes the ready task with the smallest
+``(virtual time, task id)`` key, so the whole execution — including every
+interaction with shared virtual-time resources — is a pure function of the
+task code and is reproduced bit-for-bit run after run.
+
+Tasks are plain synchronous callables.  Each task is carried by a suspended
+OS thread (greenlet-style switching without the dependency): the thread
+exists only so the task's call stack can be frozen mid-call; it never runs
+concurrently with another task or with the scheduler, and all handoffs are
+two semaphore operations.  Thousands of ranks are therefore cheap — parked
+threads cost only their (small) stacks, and wall-clock time is spent on the
+simulated work, not on lock contention.
+
+Primitives
+----------
+
+``wait``
+    Park the current task until another task (or the scheduler) wakes it.
+``wake`` / ``throw``
+    Make a blocked task ready again, optionally delivering a value or an
+    exception to raise from its ``wait``.
+``sequence``
+    A *sequence point*: yield to the scheduler iff some ready task has an
+    earlier ``(virtual time, task id)`` key.  Shared virtual-time resources
+    call this before every reservation so queueing happens in global
+    virtual-time order.
+
+Shared services build their blocking behaviour from these primitives (the
+lock managers keep a waiter queue and wake exactly the requests that no
+longer conflict — see ``fs/lockmanager.py``).  Code that may run either
+inside or outside an engine (the lock managers' unit tests drive them with
+plain threads) discovers the ambient task with :func:`current_task` and
+falls back to its legacy blocking behaviour when there is none.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import traceback
+from typing import Any, Callable, List, Optional
+
+from ..mpi.clock import VirtualClock
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "Task",
+    "TaskCancelled",
+    "current_task",
+    "sequence_point",
+]
+
+#: C-stack size for task carrier threads.  Python frames live on the heap,
+#: so 1 MiB comfortably holds the interpreter recursion of any rank function
+#: while keeping even multi-thousand-rank runs cheap.
+_TASK_STACK_BYTES = 1024 * 1024
+
+#: Wall-clock grace given to a timed-out task to unwind before the engine
+#: returns (mirrors the old thread-join grace period).
+_DEFAULT_GRACE_SECONDS = 1.0
+
+_tls = threading.local()
+
+
+class EngineError(RuntimeError):
+    """Misuse of the engine (wrong thread, double run, waking a ready task)."""
+
+
+class TaskCancelled(BaseException):
+    """Injected into a task to unwind it (deadlock teardown, engine abort).
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    handlers in rank code cannot swallow the cancellation.
+    """
+
+
+def current_task() -> Optional["Task"]:
+    """The engine task executing on this thread, or ``None`` outside one."""
+    return getattr(_tls, "task", None)
+
+
+def sequence_point() -> None:
+    """Yield to the scheduler if an earlier-keyed task is ready (no-op
+    outside an engine task)."""
+    task = current_task()
+    if task is not None:
+        task.engine.sequence(task)
+
+
+class Task:
+    """One cooperatively scheduled unit of work (an MPI rank, usually)."""
+
+    # States
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    __slots__ = (
+        "engine",
+        "tid",
+        "name",
+        "fn",
+        "clock",
+        "state",
+        "wait_reason",
+        "result",
+        "error",
+        "traceback_text",
+        "deadlocked",
+        "_thread",
+        "_resume",
+        "_wake_value",
+        "_throw_exc",
+        "_cancel_exc",
+        "_cancelling",
+    )
+
+    def __init__(self, engine: "Engine", tid: int, fn: Callable[[], Any],
+                 name: str, clock: VirtualClock) -> None:
+        self.engine = engine
+        self.tid = tid
+        self.name = name
+        self.fn = fn
+        self.clock = clock
+        self.state = Task.NEW
+        self.wait_reason = ""
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.traceback_text: Optional[str] = None
+        self.deadlocked = False
+        self._thread: Optional[threading.Thread] = None
+        self._resume = threading.Semaphore(0)
+        self._wake_value: Any = None
+        self._throw_exc: Optional[BaseException] = None
+        self._cancel_exc: Optional[BaseException] = None
+        self._cancelling = False
+
+    @property
+    def finished(self) -> bool:
+        """True once the task can never run again."""
+        return self.state in (Task.DONE, Task.FAILED, Task.CANCELLED)
+
+    def sort_key(self):
+        """Deterministic scheduling key: virtual time, then task id."""
+        return (self.clock.now, self.tid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.name!r}, state={self.state}, t={self.clock.now:.6f})"
+
+    # -- carrier-thread body --------------------------------------------------
+
+    def _main(self) -> None:
+        _tls.task = self
+        try:
+            self.result = self.fn()
+        except TaskCancelled as exc:
+            self.state = Task.CANCELLED
+            self.error = exc
+        except BaseException as exc:  # noqa: BLE001 - reported via the engine
+            self.state = Task.FAILED
+            self.error = exc
+            self.traceback_text = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+        else:
+            self.state = Task.DONE
+        finally:
+            self.engine._yield_to_scheduler()
+
+
+class Engine:
+    """A single-shot cooperative scheduler over a set of tasks."""
+
+    def __init__(self, name: str = "engine") -> None:
+        self.name = name
+        self.tasks: List[Task] = []
+        #: Invoked in scheduler context right after a task fails; used by the
+        #: SPMD runtime to abort the communicator group so peers blocked in a
+        #: collective are released instead of deadlocking.
+        self.on_task_failed: Optional[Callable[[Task], None]] = None
+        self.timed_out = False
+        #: Snapshot (at the deadline) of tasks that had not finished.
+        self.unfinished: List[Task] = []
+        self._ready: List = []  # heap of (time, tid, Task)
+        self._running: Optional[Task] = None
+        self._yield_sem = threading.Semaphore(0)
+        self._started = False
+        self._aborted = False
+        self._tids = itertools.count()
+
+    # -- task creation ----------------------------------------------------------
+
+    def spawn(self, fn: Callable[[], Any], name: Optional[str] = None,
+              clock: Optional[VirtualClock] = None) -> Task:
+        """Register a task; it becomes ready at its clock's current time.
+
+        Tasks spawned earlier win scheduling ties, so spawning in rank order
+        gives the rank-id tiebreak the determinism guarantee relies on.
+        """
+        tid = next(self._tids)
+        task = Task(self, tid, fn, name or f"task-{tid}", clock or VirtualClock())
+        self.tasks.append(task)
+        task.state = Task.READY
+        heapq.heappush(self._ready, (task.clock.now, task.tid, task))
+        return task
+
+    # -- primitives (called from inside tasks) -------------------------------------
+
+    def wait(self, reason: str = "") -> Any:
+        """Park the current task until :meth:`wake`; returns the wake value."""
+        task = self._require_current()
+        if self._aborted or task._cancelling:
+            raise TaskCancelled(f"engine {self.name!r} aborted")
+        task.state = Task.BLOCKED
+        task.wait_reason = reason
+        self._yield_to_scheduler()
+        task._resume.acquire()
+        return self._on_resumed(task)
+
+    def wake(self, task: Task, value: Any = None, at: Optional[float] = None) -> None:
+        """Make a blocked task ready; schedule it at virtual time ``at``
+        (default: its own clock)."""
+        if task.state != Task.BLOCKED:
+            raise EngineError(f"cannot wake {task!r}: not blocked")
+        task._wake_value = value
+        self._make_ready(task, at)
+
+    def throw(self, task: Task, exc: BaseException, at: Optional[float] = None) -> None:
+        """Wake a blocked task so that its ``wait`` raises ``exc``."""
+        if task.state != Task.BLOCKED:
+            raise EngineError(f"cannot throw into {task!r}: not blocked")
+        task._throw_exc = exc
+        self._make_ready(task, at)
+
+    def sequence(self, task: Optional[Task] = None) -> None:
+        """Yield iff a ready task has a strictly smaller (time, tid) key.
+
+        Shared virtual-time resources call this before reserving, which makes
+        reservation order equal to virtual-time order — the discrete-event
+        ordering — rather than the order tasks happened to run in.
+        """
+        task = task if task is not None else self._require_current()
+        while self._ready and (self._ready[0][0], self._ready[0][1]) < task.sort_key():
+            if self._aborted or task._cancelling:
+                raise TaskCancelled(f"engine {self.name!r} aborted")
+            task.state = Task.READY
+            heapq.heappush(self._ready, (task.clock.now, task.tid, task))
+            self._yield_to_scheduler()
+            task._resume.acquire()
+            self._on_resumed(task)
+
+    # -- the scheduler loop ------------------------------------------------------
+
+    def run(self, timeout: Optional[float] = None,
+            grace: float = _DEFAULT_GRACE_SECONDS) -> None:
+        """Drive tasks to completion (or deadlock-cancellation / timeout).
+
+        The engine is single-shot.  After ``run`` returns, inspect
+        :attr:`tasks` for per-task results and errors, and :attr:`timed_out`
+        / :attr:`unfinished` for the wall-clock safety net's verdict.
+        """
+        if self._started:
+            raise EngineError("an Engine can only run once")
+        if current_task() is not None:
+            raise EngineError("Engine.run cannot be called from inside a task")
+        self._started = True
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is not None and time.monotonic() >= deadline:
+                self._expire(grace)
+                return
+            task = self._pop_ready()
+            if task is None:
+                blocked = [t for t in self.tasks if t.state == Task.BLOCKED]
+                if not blocked:
+                    break
+                # No runnable task, blocked tasks remain: the run cannot make
+                # progress.  Cancel the earliest-keyed blocked task; its
+                # unwinding (lock releases, ...) may make others runnable, so
+                # re-enter the loop rather than cancelling all at once.  The
+                # unwind itself is bounded by the deadline: a victim stuck in
+                # real time must not suspend the wall-clock safety net.
+                victim = min(blocked, key=Task.sort_key)
+                victim.deadlocked = True
+                budget = None if deadline is None else max(0.0, deadline - time.monotonic())
+                unwound = self._cancel(victim, TaskCancelled(
+                    f"deadlock: {victim.name} blocked on "
+                    f"{victim.wait_reason or 'nothing runnable'}"
+                ), wait_timeout=budget)
+                if not unwound:
+                    self._expire(grace)
+                    return
+                continue
+            self._running = task
+            task.state = Task.RUNNING
+            if task._thread is None:
+                self._start_thread(task)
+            else:
+                task._resume.release()
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            if not self._yield_sem.acquire(timeout=remaining):
+                self._expire(grace)
+                return
+            self._running = None
+            if task.state == Task.FAILED and self.on_task_failed is not None:
+                self.on_task_failed(task)
+
+    # -- internals --------------------------------------------------------------
+
+    def _require_current(self) -> Task:
+        task = current_task()
+        if task is None or task.engine is not self:
+            raise EngineError("primitive called outside a task of this engine")
+        return task
+
+    def _yield_to_scheduler(self) -> None:
+        self._yield_sem.release()
+
+    def _on_resumed(self, task: Task) -> Any:
+        if task._cancel_exc is not None:
+            exc = task._cancel_exc
+            task._cancel_exc = None
+            raise exc
+        if task._throw_exc is not None:
+            exc = task._throw_exc
+            task._throw_exc = None
+            raise exc
+        value = task._wake_value
+        task._wake_value = None
+        return value
+
+    def _make_ready(self, task: Task, at: Optional[float] = None) -> None:
+        task.state = Task.READY
+        key = task.clock.now if at is None else at
+        heapq.heappush(self._ready, (key, task.tid, task))
+
+    def _pop_ready(self) -> Optional[Task]:
+        while self._ready:
+            _, _, task = heapq.heappop(self._ready)
+            if task.state == Task.READY:
+                return task
+        return None
+
+    def _start_thread(self, task: Task) -> None:
+        old_stack = threading.stack_size(_TASK_STACK_BYTES)
+        try:
+            task._thread = threading.Thread(
+                target=task._main, name=f"{self.name}/{task.name}", daemon=True
+            )
+            task._thread.start()
+        finally:
+            threading.stack_size(old_stack)
+
+    def _cancel(self, task: Task, exc: TaskCancelled,
+                wait_timeout: Optional[float] = None) -> bool:
+        """Synchronously unwind a blocked task (scheduler context only).
+
+        Returns ``False`` if the unwind did not complete within
+        ``wait_timeout`` seconds (the victim is stuck in real time, e.g. its
+        cleanup blocks on a non-engine lock); the caller must then stop
+        scheduling — the engine is left marked aborted so the straggler dies
+        at its next primitive call.
+        """
+        if task._thread is None:
+            # Never ran: no stack to unwind.
+            task.state = Task.CANCELLED
+            task.error = exc
+            return True
+        task._cancelling = True
+        task._cancel_exc = exc
+        task.state = Task.RUNNING
+        self._running = task
+        task._resume.release()
+        if not self._yield_sem.acquire(timeout=wait_timeout):
+            self._aborted = True
+            return False
+        self._running = None
+        if task.state == Task.FAILED and self.on_task_failed is not None:
+            self.on_task_failed(task)
+        return True
+
+    def _expire(self, grace: float) -> None:
+        """Wall-clock timeout: snapshot the stragglers and stop scheduling."""
+        unfinished = [t for t in self.tasks if not t.finished]
+        if not unfinished and self._running is None:
+            # The deadline raced with completion: everything actually
+            # finished, so the run did not time out.
+            return
+        self.timed_out = True
+        self._aborted = True
+        self.unfinished = unfinished
+        # Give the currently running task (stuck in real time, e.g. a sleep)
+        # a short grace period to unwind; parked tasks stay parked on their
+        # daemon carrier threads.
+        if self._running is not None:
+            self._yield_sem.acquire(timeout=max(0.0, grace))
+            self._running = None

@@ -14,14 +14,16 @@ Figure 8 benchmark harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
-from ..fs.client import FSClient
-from ..fs.filesystem import FileObject, ParallelFileSystem
-from ..mpi.comm import CommCostModel, Communicator
-from ..mpi.runtime import SPMDResult, run_spmd
+from ..mpi.cost import CommCostModel
 from .regions import FileRegionSet
 from .strategies import AtomicityStrategy, WriteOutcome
+
+if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
+    from ..fs.filesystem import FileObject, ParallelFileSystem
+    from ..mpi.comm import Communicator
+    from ..mpi.runtime import SPMDResult
 
 __all__ = ["ConcurrentWriteResult", "AtomicWriteExecutor"]
 
@@ -114,6 +116,9 @@ class AtomicWriteExecutor:
         """
         if nprocs <= 0:
             raise ValueError("nprocs must be positive")
+        from ..fs.client import FSClient
+        from ..mpi.runtime import run_spmd
+
         fs = self.fs
         filename = self.filename
         strategy = self.strategy

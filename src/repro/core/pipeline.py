@@ -39,12 +39,11 @@ stages — see :mod:`repro.core.strategies`.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
 
-from ..fs.client import ClientFileHandle
 from ..fs.lockmanager import LockMode
-from ..mpi.comm import Communicator
 from .coloring import ColoringResult, greedy_coloring
 from .overlap import OverlapMatrix, build_overlap_matrix
 from .rank_ordering import (
@@ -54,6 +53,10 @@ from .rank_ordering import (
     resolve_by_rank,
 )
 from .regions import FileRegionSet
+
+if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
+    from ..fs.client import ClientFileHandle
+    from ..mpi.comm import Communicator
 
 __all__ = [
     "ViewExchange",
@@ -70,6 +73,39 @@ __all__ = [
 #: Key of the rank's own data stream in a plan's payload dictionary.
 USER_PAYLOAD = "user"
 
+#: How many recent collective operations the view/analysis caches remember.
+#: One entry per concurrent collective is enough; a few more tolerate
+#: interleaved experiments sharing a strategy instance.
+_MEMO_ENTRIES = 4
+
+
+class _SharedMemo:
+    """A tiny LRU keyed by object identity, pinning keys alive.
+
+    Within one collective operation every rank receives the *same* Python
+    objects from the exchange (payloads travel by reference), so object
+    identity is a constant-time fingerprint for "the same exchanged views".
+    The memo stores a reference (``pin``) to the keyed objects, which keeps
+    their ids stable — and therefore unique — for as long as the entry
+    lives, so a key hit is guaranteed to mean "the very same objects".
+    """
+
+    def __init__(self, entries: int = _MEMO_ENTRIES) -> None:
+        self.entries = entries
+        self._slots: "OrderedDict[Any, Tuple[Any, Any]]" = OrderedDict()
+
+    def get(self, key: Any) -> Optional[Any]:
+        hit = self._slots.get(key)
+        if hit is None:
+            return None
+        self._slots.move_to_end(key)
+        return hit[1]
+
+    def put(self, key: Any, pin: Any, value: Any) -> None:
+        self._slots[key] = (pin, value)
+        while len(self._slots) > self.entries:
+            self._slots.popitem(last=False)
+
 
 # ---------------------------------------------------------------------------
 # Stage 1 — view exchange (communication layer)
@@ -83,19 +119,35 @@ class ViewExchange:
     byte-range locking strategy and the non-atomic baseline coordinate
     through the file system, not through the communicator, and must not pay
     the negotiation cost of an ``allgather``.
+
+    Every rank of one collective operation allgathers the *same* segment
+    tuples (payloads travel by reference), so the stage builds the
+    :class:`~repro.core.regions.FileRegionSet` list once and hands the same
+    (read-only) list to all ranks — an O(P) identity-fingerprint lookup per
+    rank instead of P regions rebuilt P times.
     """
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
+        self._memo = _SharedMemo()
 
     def run(
-        self, comm: Communicator, region: FileRegionSet
+        self, comm: "Communicator", region: FileRegionSet
     ) -> Optional[List[FileRegionSet]]:
-        """Allgather the views; ``regions[i]`` is rank *i*'s view."""
+        """Allgather the views; ``regions[i]`` is rank *i*'s view.
+
+        The returned list is shared between the ranks of one collective —
+        treat it as immutable.
+        """
         if not self.enabled:
             return None
         all_segments = comm.allgather(region.segments)
-        return [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
+        key = tuple(map(id, all_segments))
+        regions = self._memo.get(key)
+        if regions is None:
+            regions = [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
+            self._memo.put(key, all_segments, regions)
+        return regions
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ViewExchange(enabled={self.enabled})"
@@ -145,17 +197,35 @@ class ConflictAnalysis:
         self.mode = mode
         self.policy = policy
         self.order = order
+        self._memo = _SharedMemo()
 
     def run(self, regions: Optional[Sequence[FileRegionSet]]) -> ConflictReport:
-        """Analyse ``regions`` (the stage-1 output) deterministically."""
+        """Analyse ``regions`` (the stage-1 output) deterministically.
+
+        Every rank computes the identical result from the identical inputs,
+        so when the ranks of one collective pass the shared regions list
+        from :class:`ViewExchange`, the analysis runs once and the products
+        (matrix, colouring, ordering) are shared — this is what makes the
+        O(P^2)-ish negotiation algorithms affordable at thousands of ranks.
+        """
         report = ConflictReport(regions=list(regions) if regions is not None else None)
         if self.mode == "none" or regions is None:
             return report
-        if self.mode == "coloring":
-            report.overlap = build_overlap_matrix(regions)
-            report.coloring = greedy_coloring(report.overlap, order=self.order)
-        elif self.mode == "rank-order":
-            report.ordering = resolve_by_rank(regions, policy=self.policy)
+        # Fingerprint every view by identity: the region objects are shared
+        # between the ranks of one collective even when the list holding
+        # them was copied, and two lists differing in any element must not
+        # share an analysis.
+        pin = tuple(regions)
+        key = tuple(map(id, pin))
+        products = self._memo.get(key)
+        if products is None:
+            if self.mode == "coloring":
+                overlap = build_overlap_matrix(regions)
+                products = (overlap, greedy_coloring(overlap, order=self.order), None)
+            else:  # rank-order
+                products = (None, None, resolve_by_rank(regions, policy=self.policy))
+            self._memo.put(key, pin, products)
+        report.overlap, report.coloring, report.ordering = products
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -53,15 +53,15 @@ concurrent operation must call :meth:`AtomicityStrategy.execute_write`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from ..fs.client import ClientFileHandle
-from ..mpi.comm import Communicator
 from .aggregation import choose_aggregators, merge_pieces, partition_domain
 from .coloring import ColoringResult
-from .intervals import merge_interval_sets
+from .intervals import IntervalSet, merge_interval_sets
 from .pipeline import (
+    _SharedMemo,
     ConflictAnalysis,
     ConflictReport,
     LockDirective,
@@ -75,6 +75,10 @@ from .pipeline import (
 from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
 from .regions import FileRegionSet
 from .registry import default_registry, register_strategy
+
+if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
+    from ..fs.client import ClientFileHandle
+    from ..mpi.comm import Communicator
 
 __all__ = [
     "WriteOutcome",
@@ -362,45 +366,88 @@ class TwoPhaseStrategy(PipelineStrategy):
             raise ValueError("num_aggregators must be positive")
         self.num_aggregators = num_aggregators
         self.policy = policy
+        self._memo = _SharedMemo()
 
-    def _surrendered_bytes(self, region: FileRegionSet, regions) -> int:
-        """Bytes of this rank's view that a higher-priority rank also covers.
+    def _negotiate(self, comm_size: int, regions: Sequence[FileRegionSet]):
+        """Election, partitioning and surrender accounting for one collective.
 
-        The merge on the aggregators resolves contested bytes by the same
-        ``(priority, -rank)`` order — ties break towards the lower rank, as
-        in :func:`resolve_by_rank` — so this local O(P) set computation
-        equals what a full rank-ordering negotiation would report without
-        re-running the exact trimming on every rank.
+        Every rank computes the identical result from the identical exchanged
+        views, so when the ranks share the regions list from the exchange
+        stage this runs once per collective instead of once per rank.
+        Returns ``(agg_set, aggregators, piece_starts, pieces, surrendered)``
+        where ``agg_set`` is ``frozenset(aggregators)`` (precomputed once so
+        the per-rank membership tests in :meth:`schedule` stay O(1)),
+        ``pieces`` is the flat file-ordered routing table
+        ``(start, stop, aggregator_rank)`` over the covered domain with
+        ``piece_starts`` its bisection index, and ``surrendered[rank]``
+        counts the bytes of ``rank``'s view that a higher-priority rank also
+        covers — the same winners the aggregators' merge picks (ties break
+        towards the lower rank, as in :func:`resolve_by_rank`), computed by
+        one descending-priority sweep.
         """
-        mine = (self.policy(region.rank), -region.rank)
-        higher = [
-            r.coverage for r in regions if (self.policy(r.rank), -r.rank) > mine
-        ]
-        if not higher:
-            return 0
-        claimed = merge_interval_sets(higher)
-        return region.coverage.intersection(claimed).total_bytes
+        # Fingerprint every exchanged view by identity: the region objects
+        # are shared between ranks even when the list holding them was
+        # copied (ConflictReport hands each rank its own list), and two
+        # lists differing in any element must not share a negotiation.
+        pin = tuple(regions)
+        key = tuple(map(id, pin))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        domain = merge_interval_sets([r.coverage for r in regions])
+        want = self.num_aggregators if self.num_aggregators is not None else comm_size
+        aggregators = choose_aggregators(comm_size, want)
+        chunks = partition_domain(domain, len(aggregators))
+        pieces: List[Tuple[int, int, int]] = []
+        for chunk, agg_rank in zip(chunks, aggregators):
+            for iv in chunk:
+                pieces.append((iv.start, iv.stop, agg_rank))
+        pieces.sort()
+        piece_starts = [start for start, _, _ in pieces]
+        claimed = IntervalSet.empty()
+        surrendered = [0] * len(regions)
+        for r in sorted(
+            regions, key=lambda r: (self.policy(r.rank), -r.rank), reverse=True
+        ):
+            surrendered[r.rank] = r.coverage.intersection(claimed).total_bytes
+            claimed = claimed.union(r.coverage)
+        result = (frozenset(aggregators), aggregators, piece_starts, pieces, surrendered)
+        self._memo.put(key, pin, result)
+        return result
 
     def schedule(self, comm, region, data, report):  # noqa: D102 - see base
         regions = report.regions
-        domain = merge_interval_sets([r.coverage for r in regions])
-        want = self.num_aggregators if self.num_aggregators is not None else comm.size
-        aggregators = choose_aggregators(comm.size, want)
-        chunks = partition_domain(domain, len(aggregators))
+        agg_set, aggregators, piece_starts, pieces, surrendered = self._negotiate(
+            comm.size, regions
+        )
 
         # Phase 1 — shuffle: ship each covered byte to its chunk's aggregator.
+        # Route each view segment through the file-ordered piece table by
+        # bisection, so the per-rank cost scales with the rank's own segment
+        # count, not with the aggregator count.
         sendbufs: List[List[Tuple[int, bytes]]] = [[] for _ in range(comm.size)]
         shuffled = 0
-        for chunk, agg_rank in zip(chunks, aggregators):
-            for buf_off, file_off, length in region.buffer_map_restricted(chunk):
-                sendbufs[agg_rank].append((file_off, data[buf_off : buf_off + length]))
-                shuffled += length
+        for buf_off, file_off, length in region.buffer_map():
+            seg_stop = file_off + length
+            idx = max(bisect_right(piece_starts, file_off) - 1, 0)
+            while idx < len(pieces):
+                start, stop, agg_rank = pieces[idx]
+                if start >= seg_stop:
+                    break
+                lo = max(file_off, start)
+                hi = min(seg_stop, stop)
+                if lo < hi:
+                    sendbufs[agg_rank].append(
+                        (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
+                    )
+                    shuffled += hi - lo
+                idx += 1
         received = comm.alltoallv(sendbufs)
 
         # Merge (aggregators only): later-priority data overwrites earlier.
         steps: List[WriteStep] = []
         buffer = bytearray()
-        if region.rank in aggregators:
+        if region.rank in agg_set:
             runs = merge_pieces(list(enumerate(received)), policy=self.policy)
             for run in runs:
                 steps.append(
@@ -419,8 +466,8 @@ class TwoPhaseStrategy(PipelineStrategy):
             region,
             phases=[PhasePlan(index=1, steps=steps, direct=True)],
             reported_phases=2,
-            my_phase=1 if region.rank in aggregators else 0,
-            bytes_surrendered=self._surrendered_bytes(region, regions),
+            my_phase=1 if region.rank in agg_set else 0,
+            bytes_surrendered=surrendered[region.rank],
             extra={
                 "aggregators": float(len(aggregators)),
                 "shuffled_bytes": float(shuffled),

@@ -19,6 +19,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..core.engine import sequence_point
+
 __all__ = ["CostModel", "Resource"]
 
 
@@ -56,10 +58,13 @@ class CostModel:
 class Resource:
     """A serially-reusable resource with a virtual-time queue.
 
-    Thread-safe: rank threads reserve concurrently; the reservation order in
-    virtual time is the order in which the real threads reach the resource,
-    which mirrors the nondeterminism of a real system while preserving the
-    queueing behaviour.
+    Reservations made from engine tasks (SPMD ranks) pass a scheduler
+    *sequence point* first: the task yields to the event loop if any ready
+    task has an earlier virtual time, so resources are reserved in global
+    virtual-time order — the discrete-event ordering — and every run of the
+    same workload produces the identical queueing sequence.  A plain
+    ``threading.Lock`` still guards the counters for non-engine callers
+    (direct unit-test use).
     """
 
     def __init__(self, name: str, cost: CostModel) -> None:
@@ -73,6 +78,7 @@ class Resource:
     def reserve(self, start: float, nbytes: int) -> float:
         """Reserve the resource for a transfer of ``nbytes`` starting no
         earlier than virtual time ``start``; returns the completion time."""
+        sequence_point()
         duration = self.cost.service_time(nbytes)
         with self._lock:
             begin = max(start, self._next_free)
@@ -85,6 +91,7 @@ class Resource:
     def reserve_duration(self, start: float, duration: float) -> float:
         """Reserve an explicit ``duration`` (used for non-transfer services
         such as lock-manager round trips)."""
+        sequence_point()
         if duration < 0:
             raise ValueError("duration must be non-negative")
         with self._lock:

@@ -21,6 +21,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..core.engine import Task, current_task
 from ..core.intervals import Interval
 from .errors import InvalidRequest, LockViolation
 
@@ -57,8 +58,78 @@ class GrantedLock:
         return self.mode == LockMode.EXCLUSIVE or mode == LockMode.EXCLUSIVE
 
 
+def _requests_conflict(
+    a_iv: Interval, a_mode: str, a_owner: int,
+    b_iv: Interval, b_mode: str, b_owner: int,
+) -> bool:
+    """Whether two pending lock requests cannot be granted together."""
+    if a_owner == b_owner:
+        return False
+    if not a_iv.overlaps(b_iv):
+        return False
+    return a_mode == LockMode.EXCLUSIVE or b_mode == LockMode.EXCLUSIVE
+
+
+class _WaiterQueue:
+    """Engine-task waiter queue shared by both lock managers.
+
+    Tasks park with their pending request attached; :meth:`wake_eligible`
+    wakes the waiters whose request no longer conflicts, granting greedily
+    in queue order against the held locks *plus* the requests already woken
+    in the same pass — so a convoy of exclusive waiters on one range wakes
+    exactly one task per release instead of the whole queue, and a fully
+    serialised queue costs O(P) hand-offs, not O(P^2).  Waiters re-check
+    their predicate when they resume, so an over-eager wake only re-parks.
+    Shared readers wake together.
+    """
+
+    def __init__(self) -> None:
+        self._waiters: List[Tuple["Task", Interval, str, int]] = []
+
+    def park(self, task: "Task", interval: Interval, mode: str, owner: int,
+             reason: str) -> None:
+        """Park the current task until a release makes its request eligible."""
+        entry = (task, interval, mode, owner)
+        self._waiters.append(entry)
+        try:
+            task.engine.wait(reason)
+        except BaseException:
+            # Cancelled or aborted while parked: drop the stale registration.
+            if entry in self._waiters:
+                self._waiters.remove(entry)
+            raise
+
+    def wake_eligible(self, cond: threading.Condition, conflicts) -> None:
+        """Wake the waiters for whom ``conflicts(interval, mode, owner)`` is
+        False.  The scan runs under ``cond`` (the manager's lock); the wakes
+        happen outside it."""
+        if not self._waiters:
+            return
+        woken: List[Tuple["Task", Interval, str, int]] = []
+        with cond:
+            for entry in list(self._waiters):
+                _, interval, mode, owner = entry
+                if conflicts(interval, mode, owner):
+                    continue
+                if any(
+                    _requests_conflict(interval, mode, owner, w_iv, w_mode, w_owner)
+                    for _, w_iv, w_mode, w_owner in woken
+                ):
+                    continue
+                woken.append(entry)
+                self._waiters.remove(entry)
+        for entry in woken:
+            entry[0].engine.wake(entry[0])
+
+
 class CentralLockManager:
-    """Blocking byte-range lock manager with virtual-time accounting."""
+    """Blocking byte-range lock manager with virtual-time accounting.
+
+    Callers running as engine tasks (the SPMD ranks) park on the scheduler
+    while a conflicting lock is held — the manager's queue is then processed
+    deterministically in virtual-time order.  Callers on plain threads (the
+    lock manager's own unit tests) fall back to a condition variable.
+    """
 
     def __init__(self, request_latency: float = 0.0) -> None:
         if request_latency < 0:
@@ -70,6 +141,7 @@ class CentralLockManager:
         #: race has already been resolved (see :meth:`acquire`).
         self._history: List[GrantedLock] = []
         self._cond = threading.Condition()
+        self._waiters = _WaiterQueue()
         self._ids = itertools.count(1)
         self._total_waits = 0
 
@@ -125,15 +197,25 @@ class CentralLockManager:
         if start < 0 or stop < start:
             raise InvalidRequest(f"invalid lock range [{start}, {stop})")
         interval = Interval(start, stop)
-        waited = False
-        with self._cond:
+        task = current_task()
+        if task is not None:
+            # Requests reach the manager in global virtual-time order, so a
+            # run's lock-grant sequence is deterministic.
+            task.engine.sequence(task)
+            waited = False
             while True:
-                conflicts = [
-                    g for g in self._granted.values()
-                    if g.conflicts_with(interval, mode, owner)
-                ]
-                if not conflicts:
-                    break
+                with self._cond:
+                    if not self._conflicts(interval, mode, owner):
+                        if waited:
+                            self._total_waits += 1
+                        return self._grant(owner, interval, mode, now)
+                waited = True
+                self._waiters.park(
+                    task, interval, mode, owner, f"lock[{start},{stop}) owner={owner}"
+                )
+        with self._cond:
+            waited = False
+            while self._conflicts(interval, mode, owner):
                 waited = True
                 if not self._cond.wait(timeout=timeout):
                     raise TimeoutError(
@@ -141,26 +223,37 @@ class CentralLockManager:
                     )
             if waited:
                 self._total_waits += 1
-            # The grant cannot happen, in virtual time, before the virtual
-            # release of any conflicting lock that has already been released —
-            # even if, in real (thread-scheduling) time, the conflict was over
-            # before this request arrived.  This is what turns lock contention
-            # into virtual-time serialisation.
-            prior_releases = [
-                g.released_at
-                for g in self._history
-                if g.released_at is not None and g.conflicts_with(interval, mode, owner)
-            ]
-            grant_time = max([now] + prior_releases) + self.request_latency
-            lock = GrantedLock(
-                lock_id=next(self._ids),
-                owner=owner,
-                interval=interval,
-                mode=mode,
-                granted_at=grant_time,
-            )
-            self._granted[lock.lock_id] = lock
-            return lock, grant_time
+            return self._grant(owner, interval, mode, now)
+
+    def _conflicts(self, interval: Interval, mode: str, owner: int) -> bool:
+        return any(
+            g.conflicts_with(interval, mode, owner) for g in self._granted.values()
+        )
+
+    def _grant(
+        self, owner: int, interval: Interval, mode: str, now: float
+    ) -> Tuple[GrantedLock, float]:
+        # The grant cannot happen, in virtual time, before the virtual
+        # release of any conflicting lock that has already been released —
+        # even if, in scheduling time, the conflict was over before this
+        # request arrived.  This is what turns lock contention into
+        # virtual-time serialisation.
+        prior_releases = [
+            g.released_at
+            for g in self._history
+            if g.released_at is not None and g.conflicts_with(interval, mode, owner)
+        ]
+        grant_time = max([now] + prior_releases) + self.request_latency
+        lock = GrantedLock(
+            lock_id=next(self._ids),
+            owner=owner,
+            interval=interval,
+            mode=mode,
+            granted_at=grant_time,
+        )
+        self._granted[lock.lock_id] = lock
+        return lock, grant_time
+
 
     def release(self, lock: GrantedLock, now: float = 0.0) -> None:
         """Release a previously granted lock at virtual time ``now``."""
@@ -173,6 +266,7 @@ class CentralLockManager:
             lock.released_at = now
             self._history.append(stored)
             self._cond.notify_all()
+        self._waiters.wake_eligible(self._cond, self._conflicts)
 
     def release_all(self, owner: int, now: float = 0.0) -> int:
         """Release every lock held by ``owner``; returns how many."""
@@ -184,7 +278,9 @@ class CentralLockManager:
                 self._history.append(g)
             if mine:
                 self._cond.notify_all()
-            return len(mine)
+        if mine:
+            self._waiters.wake_eligible(self._cond, self._conflicts)
+        return len(mine)
 
     def reset_history(self) -> None:
         """Forget released-lock history (between benchmark repetitions)."""

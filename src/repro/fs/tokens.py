@@ -24,9 +24,10 @@ import itertools
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from ..core.engine import current_task
 from ..core.intervals import Interval, IntervalSet
 from .errors import InvalidRequest, LockViolation
-from .lockmanager import GrantedLock, LockMode
+from .lockmanager import GrantedLock, LockMode, _WaiterQueue
 
 __all__ = ["DistributedLockManager"]
 
@@ -65,6 +66,7 @@ class DistributedLockManager:
         self._granted: Dict[int, GrantedLock] = {}
         self._history: List[GrantedLock] = []
         self._cond = threading.Condition()
+        self._waiters = _WaiterQueue()
         self._ids = itertools.count(1)
         self._local_grants = 0
         self._token_acquisitions = 0
@@ -120,50 +122,77 @@ class DistributedLockManager:
             raise InvalidRequest(f"invalid lock range [{start}, {stop})")
         interval = Interval(start, stop)
         wanted = IntervalSet.single(start, stop)
+        task = current_task()
+        if task is not None:
+            # Token-server requests happen in global virtual-time order (see
+            # CentralLockManager.acquire); park on the scheduler while an
+            # *active* lock by another client overlaps the range.
+            task.engine.sequence(task)
+            while True:
+                with self._cond:
+                    if not self._conflicts(interval, mode, owner):
+                        return self._grant(owner, interval, wanted, mode, now)
+                self._waiters.park(
+                    task, interval, mode, owner,
+                    f"token-lock[{start},{stop}) owner={owner}",
+                )
         with self._cond:
             # Wait until no *active* lock by another client overlaps the range.
-            while any(
-                g.conflicts_with(interval, mode, owner) for g in self._granted.values()
-            ):
+            while self._conflicts(interval, mode, owner):
                 if not self._cond.wait(timeout=timeout):
                     raise TimeoutError(
                         f"lock acquisition for [{start},{stop}) by {owner} timed out"
                     )
+            return self._grant(owner, interval, wanted, mode, now)
 
-            have = self._tokens.get(owner, IntervalSet.empty())
-            if have.covers(wanted):
-                cost = self.local_latency
-                self._local_grants += 1
-                revoked = 0
-            else:
-                # Revoke the conflicting part of everyone else's token.
-                revoked = 0
-                for other, token in list(self._tokens.items()):
-                    if other == owner:
-                        continue
-                    if token.overlaps(wanted):
-                        self._tokens[other] = token.subtract(wanted)
-                        revoked += 1
-                self._tokens[owner] = have.union(wanted)
-                cost = self.acquire_latency + revoked * self.revoke_latency
-                self._token_acquisitions += 1
-                self._revocations += revoked
+    def _grant(
+        self,
+        owner: int,
+        interval: Interval,
+        wanted: IntervalSet,
+        mode: str,
+        now: float,
+    ) -> Tuple[GrantedLock, float]:
+        """Grant a conflict-free request (``self._cond`` must be held)."""
+        have = self._tokens.get(owner, IntervalSet.empty())
+        if have.covers(wanted):
+            cost = self.local_latency
+            self._local_grants += 1
+            revoked = 0
+        else:
+            # Revoke the conflicting part of everyone else's token.
+            revoked = 0
+            for other, token in list(self._tokens.items()):
+                if other == owner:
+                    continue
+                if token.overlaps(wanted):
+                    self._tokens[other] = token.subtract(wanted)
+                    revoked += 1
+            self._tokens[owner] = have.union(wanted)
+            cost = self.acquire_latency + revoked * self.revoke_latency
+            self._token_acquisitions += 1
+            self._revocations += revoked
 
-            prior_releases = [
-                g.released_at
-                for g in self._history
-                if g.released_at is not None and g.conflicts_with(interval, mode, owner)
-            ]
-            grant_time = max([now] + prior_releases) + cost
-            lock = GrantedLock(
-                lock_id=next(self._ids),
-                owner=owner,
-                interval=interval,
-                mode=mode,
-                granted_at=grant_time,
-            )
-            self._granted[lock.lock_id] = lock
-            return lock, grant_time
+        prior_releases = [
+            g.released_at
+            for g in self._history
+            if g.released_at is not None and g.conflicts_with(interval, mode, owner)
+        ]
+        grant_time = max([now] + prior_releases) + cost
+        lock = GrantedLock(
+            lock_id=next(self._ids),
+            owner=owner,
+            interval=interval,
+            mode=mode,
+            granted_at=grant_time,
+        )
+        self._granted[lock.lock_id] = lock
+        return lock, grant_time
+
+    def _conflicts(self, interval: Interval, mode: str, owner: int) -> bool:
+        return any(
+            g.conflicts_with(interval, mode, owner) for g in self._granted.values()
+        )
 
     def release(self, lock: GrantedLock, now: float = 0.0) -> None:
         """Release an active lock (the token stays cached with the owner)."""
@@ -175,6 +204,7 @@ class DistributedLockManager:
             lock.released_at = now
             self._history.append(stored)
             self._cond.notify_all()
+        self._waiters.wake_eligible(self._cond, self._conflicts)
 
     def release_all(self, owner: int, now: float = 0.0) -> int:
         """Release every active lock held by ``owner``; returns how many."""
@@ -186,7 +216,9 @@ class DistributedLockManager:
                 self._history.append(g)
             if mine:
                 self._cond.notify_all()
-            return len(mine)
+        if mine:
+            self._waiters.wake_eligible(self._cond, self._conflicts)
+        return len(mine)
 
     def relinquish_tokens(self, owner: int) -> None:
         """Drop all tokens cached by ``owner`` (e.g. when it closes the file)."""

@@ -1,15 +1,21 @@
-"""Thread-based SPMD MPI runtime simulator.
+"""Event-driven SPMD MPI runtime simulator.
 
 Provides communicators (point-to-point + collectives), non-blocking
 requests, reduction operators, per-rank virtual clocks and the
-:func:`~repro.mpi.runtime.run_spmd` execution harness.
+:func:`~repro.mpi.runtime.run_spmd` execution harness.  Ranks run as
+cooperative tasks of a deterministic discrete-event scheduler
+(:mod:`repro.core.engine`): one rank executes at a time, resumed in
+``(virtual time, rank)`` order, so runs with thousands of ranks are cheap
+and bit-for-bit reproducible.
 """
 
 from .clock import VirtualClock, synchronize_clocks
 from .comm import CommCostModel, Communicator
 from .errors import (
+    CollectiveAbortedError,
     CollectiveMismatchError,
     CommunicatorError,
+    DeadlockError,
     MPIError,
     RankError,
     SPMDExecutionError,
@@ -42,6 +48,8 @@ __all__ = [
     "CommunicatorError",
     "RankError",
     "TagError",
+    "CollectiveAbortedError",
     "CollectiveMismatchError",
+    "DeadlockError",
     "SPMDExecutionError",
 ]

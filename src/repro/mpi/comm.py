@@ -1,6 +1,7 @@
 """Communicators: point-to-point and collective operations.
 
-The simulator executes one Python thread per MPI rank
+The simulator executes every MPI rank as a cooperative task of one
+discrete-event :class:`~repro.core.engine.Engine`
 (:func:`repro.mpi.runtime.run_spmd`).  All ranks of a communicator share a
 single :class:`_CommGroup` — mailboxes for point-to-point messages and a
 rendezvous area for collectives — while each rank holds its own
@@ -16,6 +17,12 @@ the same collective in the same order.  Payloads are arbitrary Python
 objects (numpy arrays included); they are passed by reference, so the usual
 MPI rule applies — do not mutate a buffer you have sent.
 
+A collective is one *rendezvous*: arriving ranks deposit their contribution
+and park on the scheduler; the last rank to arrive validates the operation,
+computes the synchronised virtual time and wakes everyone.  No OS-level
+barrier or condition variable is involved, so a collective over thousands
+of ranks costs one scheduler handoff per rank.
+
 Virtual-time accounting: each collective synchronises the participating
 ranks' :class:`~repro.mpi.clock.VirtualClock` objects to their maximum and
 optionally charges a latency + volume cost from a
@@ -25,122 +32,126 @@ negotiation strategies shows up in the measured virtual time.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..core.engine import Engine, Task, current_task
 from .clock import VirtualClock
-from .errors import CollectiveMismatchError, CommunicatorError, RankError, TagError
+from .cost import CommCostModel, _Volume, payload_nbytes
+from .errors import (
+    CollectiveAbortedError,
+    CollectiveMismatchError,
+    CommunicatorError,
+    RankError,
+    TagError,
+)
 from .reduce_ops import ReduceOp, SUM
 from .status import ANY_SOURCE, ANY_TAG, Request, Status
 
 __all__ = ["CommCostModel", "Communicator"]
 
 
-@dataclass(frozen=True)
-class CommCostModel:
-    """Virtual-time cost of communication operations.
-
-    ``latency`` is charged once per operation, ``byte_cost`` per payload byte
-    (only for payloads exposing ``nbytes`` or ``__len__``).  The default model
-    is free communication, which is appropriate when only the I/O time is
-    being studied; the benchmark harness uses a small non-zero model so the
-    negotiation overhead of the handshaking strategies is represented.
-    """
-
-    latency: float = 0.0
-    byte_cost: float = 0.0
-
-    def cost(self, payload: Any = None) -> float:
-        nbytes = 0
-        if payload is not None:
-            nbytes = getattr(payload, "nbytes", None)
-            if nbytes is None:
-                try:
-                    nbytes = len(payload)
-                except TypeError:
-                    nbytes = 0
-        return self.latency + self.byte_cost * float(nbytes)
-
-
-class _Volume:
-    """A payload stand-in carrying only a byte count for cost charging."""
-
-    __slots__ = ("nbytes",)
-
-    def __init__(self, nbytes: int) -> None:
-        self.nbytes = nbytes
-
-
-def _payload_nbytes(obj: Any) -> int:
-    """Best-effort byte volume of a (possibly nested) payload."""
-    if obj is None:
-        return 0
-    nbytes = getattr(obj, "nbytes", None)
-    if nbytes is not None:
-        return int(nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
-        return len(obj)
-    if isinstance(obj, (list, tuple)):
-        return sum(_payload_nbytes(item) for item in obj)
-    if isinstance(obj, dict):
-        return sum(_payload_nbytes(value) for value in obj.values())
-    return 0
+def _matches(src: int, tag: int, want_source: int, want_tag: int) -> bool:
+    return (want_source == ANY_SOURCE or src == want_source) and (
+        want_tag == ANY_TAG or tag == want_tag
+    )
 
 
 class _Mailbox:
-    """Unbounded per-rank message queue with tag/source matching."""
+    """Unbounded per-rank message queue with tag/source matching.
+
+    Only the owning rank ever receives, so at most one task can be parked on
+    a mailbox at a time.
+    """
+
+    __slots__ = ("_messages", "_waiter")
 
     def __init__(self) -> None:
         self._messages: deque = deque()
-        self._cond = threading.Condition()
+        self._waiter: Optional[Tuple[Task, int, int]] = None
+
+    def _find(self, source: int, tag: int) -> Optional[Tuple[int, int, Any]]:
+        for i, (src, t, payload) in enumerate(self._messages):
+            if _matches(src, t, source, tag):
+                del self._messages[i]
+                return (src, t, payload)
+        return None
 
     def put(self, source: int, tag: int, payload: Any) -> None:
-        with self._cond:
-            self._messages.append((source, tag, payload))
-            self._cond.notify_all()
+        self._messages.append((source, tag, payload))
+        if self._waiter is not None:
+            task, want_source, want_tag = self._waiter
+            if _matches(source, tag, want_source, want_tag) and task.state == Task.BLOCKED:
+                self._waiter = None
+                task.engine.wake(task)
 
-    def get(self, source: int, tag: int, timeout: Optional[float] = None) -> Tuple[int, int, Any]:
-        """Remove and return the first message matching ``source``/``tag``."""
+    def get(self, task: Task, source: int, tag: int) -> Tuple[int, int, Any]:
+        """Remove and return the first message matching ``source``/``tag``,
+        parking ``task`` until one arrives."""
+        while True:
+            msg = self._find(source, tag)
+            if msg is not None:
+                return msg
+            self._waiter = (task, source, tag)
+            try:
+                task.engine.wait(f"recv(source={source}, tag={tag})")
+            except BaseException:
+                if self._waiter is not None and self._waiter[0] is task:
+                    self._waiter = None
+                raise
 
-        def find() -> Optional[Tuple[int, int, Any]]:
-            for i, (src, t, payload) in enumerate(self._messages):
-                if (source == ANY_SOURCE or src == source) and (
-                    tag == ANY_TAG or t == tag
-                ):
-                    del self._messages[i]
-                    return (src, t, payload)
-            return None
 
-        with self._cond:
-            msg = find()
-            while msg is None:
-                if not self._cond.wait(timeout=timeout if timeout else 60.0):
-                    if timeout is not None:
-                        raise TimeoutError(
-                            f"recv(source={source}, tag={tag}) timed out"
-                        )
-                msg = find()
-            return msg
+class _Round:
+    """One collective rendezvous: deposits, arrival times and waiters."""
+
+    __slots__ = ("ops", "slots", "times", "waiting", "arrived", "latest", "error")
+
+    def __init__(self, size: int) -> None:
+        self.ops: List[Any] = [None] * size
+        self.slots: List[Any] = [None] * size
+        self.times: List[float] = [0.0] * size
+        self.waiting: List[Task] = []
+        self.arrived = 0
+        self.latest = 0.0
+        self.error: Optional[BaseException] = None
 
 
 class _CommGroup:
     """State shared by all ranks of one communicator."""
 
-    def __init__(self, size: int, clocks: Optional[List[VirtualClock]] = None,
-                 cost_model: Optional[CommCostModel] = None) -> None:
+    def __init__(
+        self,
+        size: int,
+        clocks: Optional[List[VirtualClock]] = None,
+        cost_model: Optional[CommCostModel] = None,
+        engine: Optional[Engine] = None,
+    ) -> None:
         if size <= 0:
             raise CommunicatorError("communicator size must be positive")
         self.size = size
+        self.engine = engine
         self.mailboxes = [_Mailbox() for _ in range(size)]
-        self.barrier = threading.Barrier(size)
-        self.slots: List[Any] = [None] * size
-        self.op_tags: List[Any] = [None] * size
-        self.error_slot: Optional[BaseException] = None
         self.clocks = clocks if clocks is not None else [VirtualClock() for _ in range(size)]
         self.cost_model = cost_model or CommCostModel()
-        self.time_slots: List[float] = [0.0] * size
+        self._round: Optional[_Round] = None
+        self.aborted: Optional[BaseException] = None
+
+    def abort(self, exc: BaseException) -> None:
+        """Abandon collective communication: release parked ranks and make
+        every future collective on this group fail.
+
+        The engine calls this (via the runtime's failure hook) when a rank
+        dies, so peers blocked in a rendezvous with the dead rank are woken
+        with a :class:`CollectiveAbortedError` instead of deadlocking — the
+        event-driven equivalent of the old ``threading.Barrier.abort()``.
+        """
+        self.aborted = exc
+        round_ = self._round
+        self._round = None
+        if round_ is not None:
+            waiting, round_.waiting = round_.waiting, []
+            for task in waiting:
+                task.engine.throw(task, CollectiveAbortedError(str(exc)))
 
 
 class Communicator:
@@ -177,7 +188,17 @@ class Communicator:
         """MPI-style alias for :attr:`size`."""
         return self._group.size
 
-    # -- point-to-point ----------------------------------------------------------
+    # -- plumbing ---------------------------------------------------------------
+
+    def _require_task(self) -> Task:
+        """The engine task this rank runs on (blocking ops need one)."""
+        task = current_task()
+        if task is None or self._group.engine is None or task.engine is not self._group.engine:
+            raise CommunicatorError(
+                "blocking communicator operations must run inside an engine "
+                "task (start the program through run_spmd)"
+            )
+        return task
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
@@ -187,6 +208,8 @@ class Communicator:
     def _check_tag(tag: int) -> None:
         if tag < 0 and tag != ANY_TAG:
             raise TagError(f"invalid tag {tag}")
+
+    # -- point-to-point ----------------------------------------------------------
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Eager send of a Python object to ``dest``."""
@@ -214,11 +237,17 @@ class Communicator:
         status: Optional[Status] = None,
         timeout: Optional[float] = None,
     ) -> Any:
-        """Blocking receive; returns the received object."""
+        """Blocking receive; returns the received object.
+
+        ``timeout`` is accepted for API compatibility; a receive that can
+        never be matched is detected (and reported per rank) by the
+        scheduler's deadlock detection rather than a wall-clock timer.
+        """
         if source != ANY_SOURCE:
             self._check_rank(source)
         self._check_tag(tag)
-        src, t, payload = self._group.mailboxes[self._rank].get(source, tag, timeout)
+        task = self._require_task()
+        src, t, payload = self._group.mailboxes[self._rank].get(task, source, tag)
         if status is not None:
             status.source = src
             status.tag = t
@@ -226,10 +255,22 @@ class Communicator:
         return payload
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
-        """Non-blocking receive backed by a helper thread."""
+        """Non-blocking receive; completes lazily on ``test``/``wait``."""
         req = Request()
+        mailbox = self._group.mailboxes[self._rank]
 
-        def worker() -> None:
+        def poll() -> bool:
+            msg = mailbox._find(source, tag)
+            if msg is None:
+                return False
+            src, t, payload = msg
+            req._complete(
+                payload,
+                Status(source=src, tag=t, count=getattr(payload, "nbytes", 0) or 0),
+            )
+            return True
+
+        def finish() -> None:
             try:
                 status = Status()
                 value = self.recv(source, tag, status=status)
@@ -238,7 +279,7 @@ class Communicator:
             else:
                 req._complete(value, status)
 
-        threading.Thread(target=worker, daemon=True).start()
+        req._bind(poll, finish)
         return req
 
     def sendrecv(
@@ -255,89 +296,99 @@ class Communicator:
 
     # -- collectives ---------------------------------------------------------------
 
-    def _collective_sync(self, op_name: str, payload: Any = None) -> None:
-        """Verify all ranks run the same collective and synchronise clocks."""
+    def _collective(self, op_name: str, deposit: Any = None, payload: Any = None) -> _Round:
+        """One rendezvous: deposit, park until all ranks arrive, settle clocks.
+
+        Every rank of the group must call the same collective in the same
+        order.  The last rank to arrive validates the operation tags,
+        computes the synchronised time (the max of the arrival clocks) and
+        wakes the others; each rank then advances its own clock to that time
+        and charges the cost of its *own* payload, exactly as the threaded
+        runner did.  Returns the completed round so the caller can read the
+        deposited values.
+        """
+        task = self._require_task()
         g = self._group
-        g.op_tags[self._rank] = op_name
-        g.time_slots[self._rank] = self.clock.now
-        g.barrier.wait()
-        if self._rank == 0:
-            names = set(g.op_tags)
+        if g.aborted is not None:
+            raise CollectiveAbortedError(str(g.aborted))
+        round_ = g._round
+        if round_ is None:
+            round_ = g._round = _Round(g.size)
+        round_.ops[self._rank] = op_name
+        round_.slots[self._rank] = deposit
+        round_.times[self._rank] = self.clock.now
+        round_.arrived += 1
+        if round_.arrived < g.size:
+            round_.waiting.append(task)
+            try:
+                task.engine.wait(f"collective:{op_name}")
+            except BaseException:
+                if task in round_.waiting:
+                    round_.waiting.remove(task)
+                raise
+        else:
+            g._round = None
+            names = set(round_.ops)
             if len(names) != 1:
-                # Leave the flag for every rank to observe before resetting.
-                g.error_slot = CollectiveMismatchError(
+                round_.error = CollectiveMismatchError(
                     f"ranks disagree on collective: {sorted(map(str, names))}"
                 )
-            else:
-                g.error_slot = None
-        g.barrier.wait()
-        err = g.error_slot
-        latest = max(g.time_slots)
-        self.clock.advance_to(latest, waiting=True)
+            round_.latest = max(round_.times)
+            for peer in round_.waiting:
+                task.engine.wake(peer, at=round_.latest)
+        self.clock.advance_to(round_.latest, waiting=True)
         self.clock.advance(g.cost_model.cost(payload))
-        g.barrier.wait()
-        if isinstance(err, CollectiveMismatchError):
-            raise err
+        if round_.error is not None:
+            raise round_.error
+        return round_
 
     def barrier(self) -> None:
         """Block until every rank reaches the barrier; synchronises clocks."""
-        self._collective_sync("barrier")
+        self._collective("barrier")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` to every rank."""
         self._check_rank(root)
-        g = self._group
-        if self._rank == root:
-            g.slots[root] = obj
-        self._collective_sync(f"bcast:{root}", obj if self._rank == root else None)
-        value = g.slots[root]
-        g.barrier.wait()
-        return value
+        is_root = self._rank == root
+        round_ = self._collective(
+            f"bcast:{root}",
+            deposit=obj if is_root else None,
+            payload=obj if is_root else None,
+        )
+        return round_.slots[root]
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         """Gather one object per rank at ``root`` (others receive ``None``)."""
         self._check_rank(root)
-        g = self._group
-        g.slots[self._rank] = obj
-        self._collective_sync(f"gather:{root}", obj)
-        result = list(g.slots) if self._rank == root else None
-        g.barrier.wait()
-        return result
+        round_ = self._collective(f"gather:{root}", deposit=obj, payload=obj)
+        return list(round_.slots) if self._rank == root else None
 
     def allgather(self, obj: Any) -> List[Any]:
         """Gather one object per rank at every rank."""
-        g = self._group
-        g.slots[self._rank] = obj
-        self._collective_sync("allgather", obj)
-        result = list(g.slots)
-        g.barrier.wait()
-        return result
+        round_ = self._collective("allgather", deposit=obj, payload=obj)
+        return list(round_.slots)
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
         """Scatter ``objs[i]`` from ``root`` to rank ``i``."""
         self._check_rank(root)
-        g = self._group
-        if self._rank == root:
-            if objs is None or len(objs) != self.size:
-                raise CommunicatorError(
-                    "scatter requires a sequence of exactly `size` items on the root"
-                )
-            g.slots[root] = list(objs)
-        self._collective_sync(f"scatter:{root}", objs if self._rank == root else None)
-        value = g.slots[root][self._rank]
-        g.barrier.wait()
-        return value
+        is_root = self._rank == root
+        if is_root and (objs is None or len(objs) != self.size):
+            raise CommunicatorError(
+                "scatter requires a sequence of exactly `size` items on the root"
+            )
+        round_ = self._collective(
+            f"scatter:{root}",
+            deposit=list(objs) if is_root else None,
+            payload=objs if is_root else None,
+        )
+        return round_.slots[root][self._rank]
 
     def alltoall(self, objs: Sequence[Any]) -> List[Any]:
         """Each rank sends ``objs[j]`` to rank ``j``; receives one item per rank."""
         if len(objs) != self.size:
             raise CommunicatorError("alltoall requires exactly `size` items")
-        g = self._group
-        g.slots[self._rank] = list(objs)
-        self._collective_sync("alltoall", objs)
-        result = [g.slots[src][self._rank] for src in range(self.size)]
-        g.barrier.wait()
-        return result
+        round_ = self._collective("alltoall", deposit=list(objs), payload=objs)
+        return [round_.slots[src][self._rank] for src in range(self.size)]
 
     def alltoallv(self, objs: Sequence[Any]) -> List[Any]:
         """Variable-volume all-to-all (``MPI_Alltoallv``-style exchange).
@@ -353,15 +404,13 @@ class Communicator:
         """
         if len(objs) != self.size:
             raise CommunicatorError("alltoallv requires exactly `size` items")
-        g = self._group
-        g.slots[self._rank] = list(objs)
         network_bytes = sum(
-            _payload_nbytes(obj) for dest, obj in enumerate(objs) if dest != self._rank
+            payload_nbytes(obj) for dest, obj in enumerate(objs) if dest != self._rank
         )
-        self._collective_sync("alltoallv", _Volume(network_bytes))
-        result = [g.slots[src][self._rank] for src in range(self.size)]
-        g.barrier.wait()
-        return result
+        round_ = self._collective(
+            "alltoallv", deposit=list(objs), payload=_Volume(network_bytes)
+        )
+        return [round_.slots[src][self._rank] for src in range(self.size)]
 
     def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
         """Reduce one value per rank onto ``root`` using ``op``."""
@@ -421,7 +470,12 @@ class Communicator:
                 ranks = [r for _, r in members]
                 clocks = [self._group.clocks[r] for r in ranks]
                 groups[c] = (
-                    _CommGroup(len(ranks), clocks=clocks, cost_model=self._group.cost_model),
+                    _CommGroup(
+                        len(ranks),
+                        clocks=clocks,
+                        cost_model=self._group.cost_model,
+                        engine=self._group.engine,
+                    ),
                     ranks,
                 )
             mapping = groups

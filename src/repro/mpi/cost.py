@@ -1,0 +1,63 @@
+"""Virtual-time cost model for communication operations.
+
+Kept free of other runtime imports so layers that only need the cost model
+(the executor, the benchmark harness) never pull in the communicator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["CommCostModel"]
+
+
+@dataclass(frozen=True)
+class CommCostModel:
+    """Virtual-time cost of communication operations.
+
+    ``latency`` is charged once per operation, ``byte_cost`` per payload byte
+    (only for payloads exposing ``nbytes`` or ``__len__``).  The default model
+    is free communication, which is appropriate when only the I/O time is
+    being studied; the benchmark harness uses a small non-zero model so the
+    negotiation overhead of the handshaking strategies is represented.
+    """
+
+    latency: float = 0.0
+    byte_cost: float = 0.0
+
+    def cost(self, payload: Any = None) -> float:
+        nbytes = 0
+        if payload is not None:
+            nbytes = getattr(payload, "nbytes", None)
+            if nbytes is None:
+                try:
+                    nbytes = len(payload)
+                except TypeError:
+                    nbytes = 0
+        return self.latency + self.byte_cost * float(nbytes)
+
+
+class _Volume:
+    """A payload stand-in carrying only a byte count for cost charging."""
+
+    __slots__ = ("nbytes",)
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Best-effort byte volume of a (possibly nested) payload."""
+    if obj is None:
+        return 0
+    nbytes = getattr(obj, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(item) for item in obj)
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(value) for value in obj.values())
+    return 0

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+from typing import Dict, Mapping, Optional
+
 __all__ = [
     "MPIError",
     "CommunicatorError",
     "RankError",
     "TagError",
     "CollectiveMismatchError",
+    "CollectiveAbortedError",
+    "DeadlockError",
     "SPMDExecutionError",
 ]
 
@@ -32,19 +36,59 @@ class CollectiveMismatchError(MPIError):
     """Ranks disagreed about the collective operation being performed."""
 
 
+class CollectiveAbortedError(MPIError):
+    """A collective was abandoned because a participating rank failed."""
+
+
+class DeadlockError(MPIError):
+    """A rank was still blocked when the run could make no further progress.
+
+    Raised per rank by :func:`repro.mpi.runtime.run_spmd` when the scheduler
+    finds blocked tasks but nothing runnable — e.g. a ``recv`` whose matching
+    send never happens, or a collective a peer never enters.
+    """
+
+
 class SPMDExecutionError(MPIError):
     """One or more ranks raised inside :func:`repro.mpi.runtime.run_spmd`.
 
-    The per-rank exceptions are available in :attr:`failures`, a dict mapping
-    rank to the exception instance raised by that rank.
+    Attributes
+    ----------
+    failures:
+        Dict mapping rank number to the exception instance that rank raised.
+    tracebacks:
+        Dict mapping rank number to the rank-local formatted traceback (the
+        call stack *inside that rank's function*), where one was captured.
+        The first failing rank's traceback is included in ``str(exc)`` so
+        the root cause is visible without unpacking the attributes.
     """
 
-    def __init__(self, failures):
-        self.failures = dict(failures)
-        ranks = ", ".join(str(r) for r in sorted(self.failures))
+    def __init__(
+        self,
+        failures: Mapping[int, BaseException],
+        tracebacks: Optional[Mapping[int, str]] = None,
+    ) -> None:
+        self.failures: Dict[int, BaseException] = dict(failures)
+        self.tracebacks: Dict[int, str] = dict(tracebacks or {})
+        ordered = sorted(self.failures)
+        if len(ordered) > 16:
+            ranks = ", ".join(str(r) for r in ordered[:16])
+            ranks += f", ... ({len(ordered) - 16} more)"
+        else:
+            ranks = ", ".join(str(r) for r in ordered)
         first_rank = min(self.failures)
         first = self.failures[first_rank]
-        super().__init__(
+        message = (
             f"SPMD execution failed on rank(s) {ranks}; "
             f"rank {first_rank}: {type(first).__name__}: {first}"
         )
+        first_tb = self.tracebacks.get(first_rank)
+        if first_tb:
+            message += (
+                f"\n--- rank {first_rank} traceback ---\n{first_tb.rstrip()}"
+            )
+        super().__init__(message)
+
+    def traceback_of(self, rank: int) -> Optional[str]:
+        """The rank-local traceback of ``rank``, if one was captured."""
+        return self.tracebacks.get(rank)

@@ -1,30 +1,42 @@
-"""SPMD execution harness: one thread per MPI rank.
+"""SPMD execution harness: every MPI rank is a cooperative scheduler task.
 
 :func:`run_spmd` is the entry point every example, test and benchmark uses to
-run an "MPI program": it spawns ``nprocs`` threads, hands each a
-:class:`~repro.mpi.comm.Communicator` for the world communicator (plus any
-extra positional/keyword arguments) and collects the per-rank return values.
+run an "MPI program": it spawns one :class:`~repro.core.engine.Engine` task
+per rank, hands each a :class:`~repro.mpi.comm.Communicator` for the world
+communicator (plus any extra positional/keyword arguments) and collects the
+per-rank return values.
+
+Execution is deterministic: exactly one rank runs at a time, and the
+scheduler always resumes the ready rank with the smallest
+``(virtual time, rank)`` key, so two runs of the same program produce
+identical interleavings, identical file contents and identical virtual-time
+makespans.  Rank counts in the thousands are cheap because a parked rank is
+just a frozen call stack — there is no thread contention and no OS-level
+synchronisation on the critical path.
 
 Exceptions raised by any rank are collected and re-raised as a single
-:class:`~repro.mpi.errors.SPMDExecutionError` after all other ranks have been
-released (a rank stuck in a collective with a crashed peer would otherwise
-deadlock, so the barrier is aborted on failure).
+:class:`~repro.mpi.errors.SPMDExecutionError` carrying, per failing rank,
+the rank number, the exception and the rank-local traceback.  When a rank
+fails, the communicator group is aborted so peers blocked in a collective
+with it are released (with a
+:class:`~repro.mpi.errors.CollectiveAbortedError`) instead of deadlocking;
+ranks still blocked when nothing can run anymore are reported with a
+:class:`~repro.mpi.errors.DeadlockError` naming what they were waiting on.
 """
 
 from __future__ import annotations
 
-import threading
-import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
+from ..core.engine import Engine, Task
 from .clock import VirtualClock
 from .comm import CommCostModel, Communicator, _CommGroup
-from .errors import SPMDExecutionError
+from .errors import CollectiveAbortedError, DeadlockError, SPMDExecutionError
 
 __all__ = ["SPMDResult", "run_spmd"]
 
-#: How long ranks released by the barrier abort get to unwind before being
+#: How long a rank stuck past the deadline gets to unwind before the run is
 #: reported as timed out.
 _TIMEOUT_GRACE_SECONDS = 1.0
 
@@ -64,7 +76,7 @@ def run_spmd(
     timeout: Optional[float] = 120.0,
     **kwargs: Any,
 ) -> SPMDResult:
-    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` concurrent ranks.
+    """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` scheduled ranks.
 
     Parameters
     ----------
@@ -72,17 +84,15 @@ def run_spmd(
         The per-rank function.  Its first argument is the rank's world
         :class:`~repro.mpi.comm.Communicator`.
     nprocs:
-        Number of ranks (threads) to run.
+        Number of ranks (scheduler tasks) to run.
     comm_cost:
         Optional virtual-time cost model for communication operations.
     timeout:
         Wall-clock safety net in seconds for the whole group; ``None``
-        disables it.  On expiry the group's barrier is aborted (releasing
-        ranks stuck in a collective), the remaining threads are joined
-        briefly so they can unwind, and every rank that had not finished at
-        the deadline is reported by number in the raised
-        :class:`SPMDExecutionError` — even if it completed during the grace
-        period, since it exceeded the budget either way.
+        disables it.  On expiry every rank that had not finished at the
+        deadline is reported by number in the raised
+        :class:`SPMDExecutionError` — even if it completed during the short
+        unwind grace period, since it exceeded the budget either way.
 
     Returns
     -------
@@ -92,67 +102,64 @@ def run_spmd(
     Raises
     ------
     SPMDExecutionError
-        If any rank raised; per-rank exceptions are attached.
+        If any rank raised, deadlocked or timed out; per-rank exceptions
+        (and rank-local tracebacks, where captured) are attached.
     """
     if nprocs <= 0:
         raise ValueError("nprocs must be positive")
 
-    group = _CommGroup(nprocs, cost_model=comm_cost)
-    returns: List[Any] = [None] * nprocs
-    failures: Dict[int, BaseException] = {}
-    failure_lock = threading.Lock()
+    engine = Engine(name="spmd")
+    group = _CommGroup(nprocs, cost_model=comm_cost, engine=engine)
 
-    def worker(rank: int) -> None:
+    def make_rank_main(rank: int) -> Callable[[], Any]:
         comm = Communicator(group, rank)
-        try:
-            returns[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - reported via SPMDExecutionError
-            with failure_lock:
-                failures[rank] = exc
-            # Release peers blocked in a collective with this rank.
-            group.barrier.abort()
 
-    threads = [
-        threading.Thread(target=worker, args=(rank,), name=f"mpi-rank-{rank}", daemon=True)
+        def rank_main() -> Any:
+            return fn(comm, *args, **kwargs)
+
+        return rank_main
+
+    tasks = [
+        engine.spawn(make_rank_main(rank), name=f"mpi-rank-{rank}", clock=group.clocks[rank])
         for rank in range(nprocs)
     ]
-    for t in threads:
-        t.start()
-    if timeout is None:
-        for t in threads:
-            t.join()
-    else:
-        # The timeout is a budget for the whole group, not per join: the
-        # deadline is shared so a slow rank cannot extend the others' budget.
-        deadline = time.monotonic() + timeout
-        for t in threads:
-            t.join(max(0.0, deadline - time.monotonic()))
-        unfinished = [rank for rank, t in enumerate(threads) if t.is_alive()]
-        if unfinished:
-            # Abort the group so ranks stuck in a collective with a dead or
-            # slow peer are released, give them a short grace period to
-            # unwind (so their threads do not dangle), then report every
-            # rank that had not finished at the deadline — by rank number,
-            # not a generic sentinel.  The timeout entries also take
-            # precedence over the BrokenBarrierError the abort provokes in
-            # ranks that were blocked in a collective, so the root cause
-            # (timeout) is not masked by its own cleanup.
-            group.barrier.abort()
-            grace_deadline = time.monotonic() + _TIMEOUT_GRACE_SECONDS
-            for rank in unfinished:
-                threads[rank].join(max(0.0, grace_deadline - time.monotonic()))
-            timeouts = {
-                rank: TimeoutError(
-                    f"rank {rank} did not finish within the {timeout}s timeout"
-                )
-                for rank in unfinished
-            }
-            # Ranks that outlived the grace period may still be running and
-            # mutating `failures`; snapshot it under the lock.
-            with failure_lock:
-                snapshot = dict(failures)
-            raise SPMDExecutionError({**snapshot, **timeouts})
+
+    # Release peers blocked in a collective with a failed rank (the
+    # event-driven counterpart of the old barrier abort).
+    engine.on_task_failed = lambda task: group.abort(
+        CollectiveAbortedError(
+            f"collective aborted: rank {task.tid} failed with "
+            f"{type(task.error).__name__}: {task.error}"
+        )
+    )
+
+    engine.run(timeout=timeout, grace=_TIMEOUT_GRACE_SECONDS)
+
+    failures: Dict[int, BaseException] = {}
+    tracebacks: Dict[int, str] = {}
+    for rank, task in enumerate(tasks):
+        if task.state == Task.FAILED:
+            failures[rank] = task.error
+            if task.traceback_text:
+                tracebacks[rank] = task.traceback_text
+        elif task.state == Task.CANCELLED and task.deadlocked:
+            failures[rank] = DeadlockError(
+                f"rank {rank} was still blocked on {task.wait_reason or '<unknown>'} "
+                "when no rank could make progress"
+            )
+
+    if engine.timed_out:
+        # Timeout entries take precedence over errors the teardown provoked
+        # in the same ranks, so the root cause (the budget) is not masked.
+        timeouts = {
+            task.tid: TimeoutError(
+                f"rank {task.tid} did not finish within the {timeout}s timeout"
+            )
+            for task in engine.unfinished
+        }
+        if failures or timeouts:
+            raise SPMDExecutionError({**failures, **timeouts}, tracebacks)
 
     if failures:
-        raise SPMDExecutionError(failures)
-    return SPMDResult(returns=returns, clocks=list(group.clocks))
+        raise SPMDExecutionError(failures, tracebacks)
+    return SPMDResult(returns=[t.result for t in tasks], clocks=list(group.clocks))

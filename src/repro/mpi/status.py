@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 __all__ = ["ANY_SOURCE", "ANY_TAG", "Status", "Request"]
 
@@ -26,36 +25,54 @@ class Status:
 class Request:
     """Handle for a non-blocking operation (``MPI_Request``).
 
-    The simulator performs the underlying transfer eagerly on a helper
-    mechanism, so :meth:`wait` simply blocks until completion and returns the
-    received object (for receive requests) or ``None`` (for sends).
+    Sends complete eagerly.  A receive request completes lazily and
+    cooperatively: :meth:`test` probes the mailbox without blocking, and
+    :meth:`wait` performs the receive on the calling rank's own task —
+    parking it on the event scheduler until the message arrives — so no
+    helper thread ever exists behind a request.
     """
 
     def __init__(self) -> None:
-        self._event = threading.Event()
+        self._done = False
         self._value: Any = None
         self._status = Status()
         self._error: Optional[BaseException] = None
+        #: Non-blocking completion probe (returns True when it completed us).
+        self._poll: Optional[Callable[[], bool]] = None
+        #: Blocking completion (runs on the caller's task).
+        self._finish: Optional[Callable[[], None]] = None
+
+    def _bind(self, poll: Callable[[], bool], finish: Callable[[], None]) -> None:
+        self._poll = poll
+        self._finish = finish
 
     def _complete(self, value: Any = None, status: Optional[Status] = None) -> None:
         self._value = value
         if status is not None:
             self._status = status
-        self._event.set()
+        self._done = True
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
-        self._event.set()
+        self._done = True
 
     def test(self) -> bool:
-        """True when the operation has completed."""
-        return self._event.is_set()
+        """True when the operation has completed (probes without blocking)."""
+        if not self._done and self._poll is not None:
+            self._poll()
+        return self._done
 
     def wait(self, timeout: Optional[float] = None) -> Any:
-        """Block until the operation completes; return the received object."""
-        finished = self._event.wait(timeout)
-        if not finished:
-            raise TimeoutError("Request.wait timed out")
+        """Complete the operation; return the received object.
+
+        ``timeout`` is accepted for API compatibility; a receive that can
+        never complete is detected as a deadlock by the scheduler instead of
+        by a wall-clock timer.
+        """
+        if not self._done:
+            if self._finish is None:
+                raise RuntimeError("request is pending but has no completion path")
+            self._finish()
         if self._error is not None:
             raise self._error
         return self._value

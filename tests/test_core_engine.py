@@ -1,0 +1,263 @@
+"""Tests for the deterministic cooperative discrete-event scheduler."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.engine import (
+    Engine,
+    EngineError,
+    Task,
+    TaskCancelled,
+    current_task,
+    sequence_point,
+)
+from repro.mpi.clock import VirtualClock
+
+
+class TestBasicExecution:
+    def test_results_collected(self):
+        engine = Engine()
+        tasks = [engine.spawn(lambda i=i: i * 10) for i in range(4)]
+        engine.run()
+        assert [t.result for t in tasks] == [0, 10, 20, 30]
+        assert all(t.state == Task.DONE for t in tasks)
+
+    def test_tasks_run_in_spawn_order_at_equal_time(self):
+        engine = Engine()
+        order = []
+        for i in range(5):
+            engine.spawn(lambda i=i: order.append(i))
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_current_task_visible_inside_and_absent_outside(self):
+        engine = Engine()
+        seen = []
+        engine.spawn(lambda: seen.append(current_task().tid))
+        engine.run()
+        assert seen == [0]
+        assert current_task() is None
+
+    def test_failure_recorded_with_traceback(self):
+        engine = Engine()
+
+        def boom():
+            raise ValueError("broken")
+
+        task = engine.spawn(boom)
+        engine.run()
+        assert task.state == Task.FAILED
+        assert isinstance(task.error, ValueError)
+        assert "ValueError: broken" in task.traceback_text
+        assert "in boom" in task.traceback_text
+
+    def test_failure_hook_called_in_scheduler_context(self):
+        engine = Engine()
+        failed = []
+        engine.on_task_failed = lambda task: failed.append(task.tid)
+        engine.spawn(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        engine.spawn(lambda: None)
+        engine.run()
+        assert failed == [0]
+
+    def test_engine_is_single_shot(self):
+        engine = Engine()
+        engine.spawn(lambda: None)
+        engine.run()
+        with pytest.raises(EngineError):
+            engine.run()
+
+
+class TestWaitWake:
+    def test_wake_delivers_value(self):
+        engine = Engine()
+        got = []
+
+        def waiter():
+            got.append(engine.wait("for-value"))
+
+        w = engine.spawn(waiter)
+
+        def waker():
+            engine.wake(w, value=42)
+
+        engine.spawn(waker)
+        engine.run()
+        assert got == [42]
+
+    def test_throw_raises_in_waiter(self):
+        engine = Engine()
+        caught = []
+
+        def waiter():
+            try:
+                engine.wait("doomed")
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        w = engine.spawn(waiter)
+        engine.spawn(lambda: engine.throw(w, RuntimeError("delivered")))
+        engine.run()
+        assert caught == ["delivered"]
+
+    def test_wake_orders_by_virtual_time_then_id(self):
+        engine = Engine()
+        resumed = []
+        waiters = []
+
+        def make(i, t):
+            clock = VirtualClock(now=t)
+
+            def fn():
+                engine.wait("parked")
+                resumed.append(i)
+
+            waiters.append(engine.spawn(fn, clock=clock))
+
+        # Spawn in an order that differs from the virtual-time order.
+        make(0, 5.0)
+        make(1, 1.0)
+        make(2, 5.0)
+
+        def waker():
+            for w in waiters:
+                engine.wake(w)
+
+        engine.spawn(waker, clock=VirtualClock(now=10.0))
+        engine.run()
+        # Time 1.0 first, then the two at 5.0 in task-id order.
+        assert resumed == [1, 0, 2]
+
+    def test_waking_a_ready_task_is_an_error(self):
+        engine = Engine()
+
+        def fn():
+            with pytest.raises(EngineError):
+                engine.wake(other)
+
+        other = engine.spawn(lambda: None)
+        engine.spawn(fn)
+        engine.run()
+
+
+class TestSequencePoints:
+    def test_sequence_yields_to_earlier_task(self):
+        engine = Engine()
+        log = []
+
+        def slow():
+            # Starts first but immediately advances its clock far ahead;
+            # the sequence point must let the earlier task run first.
+            current_task().clock.advance(10.0)
+            sequence_point()
+            log.append("slow")
+
+        def fast():
+            log.append("fast")
+
+        engine.spawn(slow)
+        engine.spawn(fast)
+        engine.run()
+        assert log == ["fast", "slow"]
+
+    def test_sequence_noop_when_already_earliest(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            sequence_point()
+            log.append("first")
+
+        def second():
+            current_task().clock.advance(1.0)
+            log.append("second")
+
+        engine.spawn(first)
+        engine.spawn(second)
+        engine.run()
+        assert log == ["first", "second"]
+
+    def test_sequence_point_outside_engine_is_noop(self):
+        sequence_point()  # must not raise
+
+
+class TestDeadlockAndTimeout:
+    def test_blocked_tasks_cancelled_on_deadlock(self):
+        engine = Engine()
+
+        def stuck():
+            engine.wait("never-woken")
+
+        task = engine.spawn(stuck)
+        engine.run()
+        assert task.state == Task.CANCELLED
+        assert task.deadlocked
+        assert isinstance(task.error, TaskCancelled)
+        assert "never-woken" in str(task.error)
+
+    def test_deadlock_unwind_runs_finally_blocks(self):
+        engine = Engine()
+        cleaned = []
+
+        def stuck():
+            try:
+                engine.wait("never")
+            finally:
+                cleaned.append(True)
+
+        engine.spawn(stuck)
+        engine.run()
+        assert cleaned == [True]
+
+    def test_timeout_snapshots_unfinished(self):
+        engine = Engine()
+        engine.spawn(lambda: None)
+        engine.spawn(lambda: time.sleep(5.0))
+        engine.spawn(lambda: None)  # never gets to run
+        engine.run(timeout=0.1, grace=0.05)
+        assert engine.timed_out
+        assert sorted(t.tid for t in engine.unfinished) == [1, 2]
+
+    def test_no_timeout_when_tasks_finish(self):
+        engine = Engine()
+        engine.spawn(lambda: None)
+        engine.run(timeout=30.0)
+        assert not engine.timed_out
+        assert engine.unfinished == []
+
+    def test_run_inside_task_rejected(self):
+        engine = Engine()
+        caught = []
+
+        def nested():
+            try:
+                engine.run()
+            except EngineError:
+                caught.append(True)
+
+        engine.spawn(nested)
+        engine.run()
+        assert caught == [True]
+
+
+class TestDeterminism:
+    def test_identical_schedules_across_runs(self):
+        def run_once():
+            engine = Engine()
+            log = []
+
+            def worker(i):
+                clock = current_task().clock
+                clock.advance(0.1 * ((i * 7) % 5))
+                sequence_point()
+                log.append((i, round(clock.now, 6)))
+
+            for i in range(20):
+                engine.spawn(lambda i=i: worker(i))
+            engine.run()
+            return log
+
+        assert run_once() == run_once()

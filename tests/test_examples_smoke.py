@@ -1,0 +1,54 @@
+"""Examples smoke test: every script in ``examples/`` must run clean.
+
+The quickstart and the sweep examples are the project's front door; this
+test executes each one in a subprocess (as a user would) so they cannot
+silently rot when the library underneath them changes.  A script fails the
+test if it exits non-zero or prints a traceback.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Generous wall-clock ceiling per script (they take seconds in practice;
+#: the ceiling only bounds pathological regressions).
+TIMEOUT_SECONDS = 240
+
+
+def test_examples_directory_is_populated():
+    assert EXAMPLE_SCRIPTS, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[s.stem for s in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_SECONDS,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited with {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert "Traceback" not in proc.stderr, (
+        f"{script.name} printed a traceback:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} produced no output"

@@ -132,6 +132,78 @@ class TestCentralLockManagerBlocking:
             lm.acquire(owner=1, start=0, stop=10, timeout=0.05)
 
 
+class TestEngineTaskBlocking:
+    """Engine tasks park on the manager's waiter queue instead of a
+    condition variable, and releases wake only eligible requests."""
+
+    def test_conflicting_engine_tasks_serialise(self):
+        from repro.core.engine import Engine, current_task, sequence_point
+
+        lm = CentralLockManager()
+        order = []
+
+        def locker(owner):
+            lock, grant = lm.acquire(owner=owner, start=0, stop=100, now=0.0)
+            order.append(("granted", owner))
+            # Yield while holding the lock, so the peers reach the manager
+            # and park on its waiter queue instead of never contending.
+            current_task().clock.advance(10.0)
+            sequence_point()
+            lm.release(lock, now=grant + 1.0)
+
+        engine = Engine()
+        for owner in range(4):
+            engine.spawn(lambda owner=owner: locker(owner))
+        engine.run()
+        assert order == [("granted", o) for o in range(4)]
+        assert lm.held_locks() == []
+        assert lm.wait_count == 3
+
+    def test_shared_engine_waiters_wake_together(self):
+        from repro.core.engine import Engine
+
+        lm = CentralLockManager()
+        granted = []
+
+        def writer():
+            lock, _ = lm.acquire(owner=0, start=0, stop=10, now=0.0)
+            lm.release(lock, now=1.0)
+
+        def reader(owner):
+            lock, _ = lm.acquire(owner=owner, start=0, stop=10,
+                                 mode=LockMode.SHARED, now=0.0)
+            granted.append(owner)
+            lm.release(lock, now=2.0)
+
+        engine = Engine()
+        engine.spawn(writer)
+        for owner in (1, 2, 3):
+            engine.spawn(lambda owner=owner: reader(owner))
+        engine.run()
+        assert sorted(granted) == [1, 2, 3]
+
+    def test_distributed_manager_engine_tasks_serialise(self):
+        from repro.core.engine import Engine
+
+        lm = DistributedLockManager(acquire_latency=0.01)
+        grants = []
+
+        def locker(owner):
+            lock, grant = lm.acquire(owner=owner, start=0, stop=50, now=0.0)
+            grants.append((owner, grant))
+            lm.release(lock, now=grant + 0.5)
+
+        engine = Engine()
+        for owner in range(3):
+            engine.spawn(lambda owner=owner: locker(owner))
+        engine.run()
+        assert [o for o, _ in grants] == [0, 1, 2]
+        # Serialisation is visible in virtual time: each grant waits for the
+        # previous virtual release.
+        assert grants[1][1] >= grants[0][1] + 0.5
+        assert grants[2][1] >= grants[1][1] + 0.5
+
+
 class TestDistributedLockManager:
     def test_first_acquisition_costs_token_round_trip(self):
         lm = DistributedLockManager(acquire_latency=0.01, local_latency=0.0001)

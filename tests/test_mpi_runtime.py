@@ -13,7 +13,7 @@ from repro.mpi import (
     run_spmd,
     synchronize_clocks,
 )
-from repro.mpi.errors import RankError, TagError
+from repro.mpi.errors import DeadlockError, RankError, TagError
 
 
 class TestRunSPMD:
@@ -108,6 +108,100 @@ class TestRunSPMD:
         # root cause.
         assert set(failures) == {0, 1, 2}
         assert all(isinstance(e, TimeoutError) for e in failures.values())
+
+
+class TestFailureReporting:
+    """SPMDExecutionError carries rank numbers and rank-local tracebacks."""
+
+    @staticmethod
+    def _failing_program(comm):
+        def deep_helper():
+            raise KeyError("lost-key")
+
+        if comm.rank == 2:
+            deep_helper()
+        return comm.rank
+
+    def test_rank_local_traceback_attached(self):
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(self._failing_program, 4)
+        err = excinfo.value
+        assert set(err.failures) == {2}
+        tb = err.traceback_of(2)
+        assert tb is not None
+        # The traceback is the rank's own call stack, not the scheduler's.
+        assert "deep_helper" in tb
+        assert "_failing_program" in tb
+        assert "KeyError" in tb
+
+    def test_message_names_rank_and_includes_traceback(self):
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(self._failing_program, 4)
+        message = str(excinfo.value)
+        assert "rank 2" in message
+        assert "rank 2 traceback" in message
+        assert "deep_helper" in message
+
+    def test_traceback_of_unknown_rank_is_none(self):
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(self._failing_program, 4)
+        assert excinfo.value.traceback_of(0) is None
+
+    def test_peers_blocked_in_collective_reported_separately(self):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("dead")
+            comm.barrier()
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 3)
+        err = excinfo.value
+        assert isinstance(err.failures[0], RuntimeError)
+        # Rank 0's traceback is present; peers aborted out of the collective
+        # carry their own (different) failure entries, not rank 0's.
+        assert "dead" in err.traceback_of(0)
+
+    def test_long_rank_lists_truncated_in_message(self):
+        def fn(comm):
+            raise ValueError(f"r{comm.rank}")
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 40)
+        message = str(excinfo.value)
+        assert "more)" in message
+        assert len(excinfo.value.failures) == 40
+
+
+class TestDeadlockDetection:
+    def test_recv_without_sender_reported_as_deadlock(self):
+        def fn(comm):
+            if comm.rank == 0:
+                return comm.recv(source=1, tag=5)  # never sent
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError) as excinfo:
+            run_spmd(fn, 2)
+        failures = excinfo.value.failures
+        assert set(failures) == {0}
+        assert isinstance(failures[0], DeadlockError)
+        assert "recv" in str(failures[0])
+
+    def test_deadlocked_rank_releases_its_locks_during_unwind(self):
+        """A deadlock-cancelled rank must unwind through its finally blocks
+        (so e.g. held file locks are returned) before the run is reported."""
+        released = []
+
+        def fn(comm):
+            if comm.rank == 0:
+                try:
+                    comm.recv(source=1)  # never sent
+                finally:
+                    released.append(comm.rank)
+            return comm.rank
+
+        with pytest.raises(SPMDExecutionError):
+            run_spmd(fn, 2)
+        assert released == [0]
 
 
 class TestPointToPoint:
