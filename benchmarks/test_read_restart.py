@@ -1,0 +1,63 @@
+"""Collective read sweep — the restart-after-checkpoint scenario.
+
+Beyond the paper: the staged collective-read pipeline (PR 4) measured on the
+paper's machines.  Each point checkpoints a column-wise partitioned array
+(atomic two-phase write, not measured), then has every rank read its
+overlapping view back collectively under one strategy's read pipeline; read
+atomicity is verified from the delivered streams.  A mixed read/write race
+(writer group vs reader group under byte-range locking) is measured as well.
+
+Expected qualitative behaviour:
+* two-phase aggregation is the fastest read path — each file byte is fetched
+  from the servers once, however many ranks request it;
+* the naive baseline (`none`), graph-coloring and rank-ordering pay per-rank
+  cache refills of the overlapped columns;
+* byte-range locking reads pay a direct server round trip per segment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import run_mixed_experiment, run_read_sweep
+from repro.bench.results import ResultTable
+
+from conftest import report
+
+PROCESS_COUNTS = [4, 8, 16]
+
+
+def _sweep(machine_name: str) -> ResultTable:
+    return run_read_sweep(
+        machines=[machine_name],
+        array_labels=["32MB"],
+        process_counts=PROCESS_COUNTS,
+        row_scale=64,
+    )
+
+
+@pytest.mark.parametrize("machine_name", ["Cplant", "Origin 2000", "IBM SP"])
+def test_read_sweep(benchmark, machine_name):
+    table = benchmark.pedantic(_sweep, args=(machine_name,), rounds=1, iterations=1)
+    assert all(r.atomic_ok for r in table)
+    report(
+        f"Collective read sweep ({machine_name}, 32MB column-wise)",
+        table.to_text(),
+    )
+    # Two-phase beats the naive per-rank baseline at every process count.
+    for nprocs in PROCESS_COUNTS:
+        naive = table.filter(strategy="none", nprocs=nprocs).records[0]
+        two_phase = table.filter(strategy="two-phase", nprocs=nprocs).records[0]
+        assert two_phase.makespan_seconds < naive.makespan_seconds
+
+
+def test_mixed_read_write_race(benchmark):
+    record = benchmark.pedantic(
+        run_mixed_experiment,
+        args=("Origin 2000", 64, 8192, 16),
+        rounds=1,
+        iterations=1,
+    )
+    assert record.atomic_ok
+    table = ResultTable([record])
+    report("Mixed read/write race (Origin 2000, locking, P=16)", table.to_text())

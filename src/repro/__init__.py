@@ -25,7 +25,9 @@ Typical use::
 from .core import (
     AtomicityStrategy,
     AtomicWriteExecutor,
+    CollectiveReadExecutor,
     ColumnWiseCase,
+    ConcurrentReadResult,
     ConcurrentWriteResult,
     FileRegionSet,
     GraphColoringStrategy,
@@ -36,6 +38,7 @@ from .core import (
     OverlapMatrix,
     PipelineStrategy,
     RankOrderingStrategy,
+    ReadOutcome,
     STRATEGY_NAMES,
     TwoPhaseStrategy,
     WriteOutcome,
@@ -60,14 +63,26 @@ from .fs import (
 from .io import MPIFile, Info, MODE_CREATE, MODE_RDWR, MODE_WRONLY
 from .mpi import Communicator, run_spmd
 from .patterns import (
+    CheckpointRestartWorkload,
     ColumnWiseWorkload,
     GhostDecomposition,
     block_block_views,
     column_wise_views,
     row_wise_views,
 )
-from .verify import check_coverage, check_mpi_atomicity
-from .bench import run_column_wise_experiment, run_figure8_grid
+from .verify import (
+    ReadObservation,
+    check_coverage,
+    check_mpi_atomicity,
+    check_read_atomicity,
+)
+from .bench import (
+    run_column_wise_experiment,
+    run_figure8_grid,
+    run_mixed_experiment,
+    run_read_experiment,
+    run_read_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -87,7 +102,10 @@ __all__ = [
     "register_strategy",
     "AtomicWriteExecutor",
     "ConcurrentWriteResult",
+    "CollectiveReadExecutor",
+    "ConcurrentReadResult",
     "WriteOutcome",
+    "ReadOutcome",
     "FileRegionSet",
     "Interval",
     "IntervalSet",
@@ -121,10 +139,16 @@ __all__ = [
     "block_block_views",
     "GhostDecomposition",
     "ColumnWiseWorkload",
+    "CheckpointRestartWorkload",
     # verify
     "check_mpi_atomicity",
     "check_coverage",
+    "check_read_atomicity",
+    "ReadObservation",
     # bench
     "run_column_wise_experiment",
     "run_figure8_grid",
+    "run_read_experiment",
+    "run_read_sweep",
+    "run_mixed_experiment",
 ]

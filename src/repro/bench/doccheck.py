@@ -1,0 +1,114 @@
+"""Documentation consistency check.
+
+Scans markdown files for backtick-quoted file paths and for ``python``
+commands, and fails when they reference files or modules that do not exist —
+so README.md and EXPERIMENTS.md cannot silently rot as the code moves.
+
+Checked, conservatively (to avoid false positives on prose):
+
+* inline-code spans and fenced code lines that *look like repo paths* — a
+  known extension (``.py``, ``.md``, ``.toml``, ``.yml``, ``.txt``, ``.dat``)
+  or a trailing ``/`` — are resolved against the repository root (and, for
+  bare module-ish paths, against ``src/``).  Glob-style spans containing
+  ``*``, ``{`` or ``<`` placeholders are skipped.
+* ``python -m <module>`` commands must name an importable module;
+  ``python <script>.py`` commands must name an existing file.
+
+Run with::
+
+    PYTHONPATH=src python -m repro.bench.doccheck README.md EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["check_document", "main"]
+
+#: Extensions that make a backtick span a file-path claim.
+_PATH_SUFFIXES = (".py", ".md", ".toml", ".yml", ".yaml", ".txt", ".dat", ".json")
+
+_CODE_SPAN = re.compile(r"`([^`\n]+)`")
+_PY_MODULE = re.compile(r"python(?:3)?\s+-m\s+([A-Za-z_][\w.]*)")
+_PY_SCRIPT = re.compile(r"python(?:3)?\s+([\w./-]+\.py)\b")
+
+#: Segments that mark a span as a placeholder, not a concrete path.
+_PLACEHOLDER_CHARS = ("*", "{", "<", "$", " ")
+
+
+def _path_candidates(root: Path, token: str) -> List[Path]:
+    """Where a doc-referenced path may legitimately live."""
+    token = token.strip().rstrip(":,")
+    return [
+        root / token,
+        root / "src" / token,
+        root / "src" / "repro" / token,
+        root / "examples" / token,
+    ]
+
+
+def _looks_like_path(token: str) -> bool:
+    token = token.strip()
+    if any(c in token for c in _PLACEHOLDER_CHARS):
+        return False
+    if token.endswith("/"):
+        return "/" in token.rstrip("/") or len(token) > 1
+    return token.endswith(_PATH_SUFFIXES)
+
+
+def _module_exists(module: str) -> bool:
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def check_document(path: Path, root: Optional[Path] = None) -> List[Tuple[int, str]]:
+    """Return ``(line_number, problem)`` pairs for one markdown file."""
+    root = root or Path.cwd()
+    problems: List[Tuple[int, str]] = []
+    if not path.exists():
+        return [(0, f"document {path} does not exist")]
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        spans = _CODE_SPAN.findall(line)
+        # Fenced code blocks have no backticks per line; treat command lines
+        # inside them the same way by scanning every line for python commands.
+        for span in spans:
+            if _looks_like_path(span):
+                token = span.strip().rstrip(":,").rstrip("/")
+                if not any(c.exists() for c in _path_candidates(root, token)):
+                    problems.append((lineno, f"referenced path `{span}` not found"))
+        for match in _PY_MODULE.finditer(line):
+            module = match.group(1)
+            if not _module_exists(module):
+                problems.append((lineno, f"`python -m {module}`: module not importable"))
+        for match in _PY_SCRIPT.finditer(line):
+            script = match.group(1)
+            if not any(c.exists() for c in _path_candidates(root, script)):
+                problems.append((lineno, f"`python {script}`: script not found"))
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exits non-zero when any document is inconsistent."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    if not args:
+        args = ["README.md"]
+    root = Path.cwd()
+    failed = False
+    for name in args:
+        problems = check_document(Path(name), root=root)
+        for lineno, problem in problems:
+            print(f"{name}:{lineno}: {problem}")
+            failed = True
+        if not problems:
+            print(f"{name}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

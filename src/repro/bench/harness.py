@@ -1,4 +1,5 @@
-"""Experiment driver for the paper's evaluation (Figure 8).
+"""Experiment driver for the paper's evaluation (Figure 8) and the read and
+mixed read/write extensions.
 
 :func:`run_column_wise_experiment` measures one point: a partitioned
 concurrent overlapping write of an ``M x N`` byte array by ``P`` processes on
@@ -15,25 +16,37 @@ from the central registry (:mod:`repro.core.registry`): by default every
 registered atomicity-providing strategy runs, and strategies that need
 byte-range locks are skipped on machines without lock support (Cplant/ENFS),
 as in the paper.
+
+The read side mirrors this: :func:`run_read_experiment` measures a collective
+overlapping *read* of a previously checkpointed array under one strategy's
+staged read pipeline (verifying read atomicity from the delivered streams),
+:func:`run_read_sweep` sweeps it over strategies and process counts, and
+:func:`run_mixed_experiment` races a writer group against a reader group on
+the same file under byte-range locking, which is the one strategy that
+serialises two *independent* concurrent operations.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..core.executor import AtomicWriteExecutor
+from ..core.executor import AtomicWriteExecutor, CollectiveReadExecutor
 from ..core.overlap import overlapped_bytes_total
+from ..core.regions import FileRegionSet
 from ..core.registry import default_registry
 from ..patterns.partition import views_for_pattern
+from ..fs.client import FSClient
 from ..fs.filesystem import ParallelFileSystem
-from ..mpi.comm import CommCostModel
+from ..mpi.comm import CommCostModel, Communicator
+from ..mpi.runtime import run_spmd
 from ..patterns.workloads import (
     PAPER_ARRAY_SIZES,
     PAPER_OVERLAP_COLUMNS,
     PAPER_PROCESS_COUNTS,
     rank_fill_bytes,
+    rank_pattern_bytes,
 )
-from ..verify.atomicity import check_mpi_atomicity
+from ..verify.atomicity import ReadObservation, check_mpi_atomicity, check_read_atomicity
 from .machines import ALL_MACHINES, MachineSpec, machine_by_name
 from .results import ExperimentRecord, ResultTable
 
@@ -41,6 +54,9 @@ __all__ = [
     "DEFAULT_ROW_SCALE",
     "run_column_wise_experiment",
     "run_figure8_grid",
+    "run_read_experiment",
+    "run_read_sweep",
+    "run_mixed_experiment",
     "strategies_for_machine",
 ]
 
@@ -173,3 +189,301 @@ def run_figure8_grid(
                     )
                     table.add(record)
     return table
+
+
+def _checkpoint_file(
+    fs: ParallelFileSystem,
+    filename: str,
+    M: int,
+    N: int,
+    nprocs: int,
+    overlap_columns: int,
+    pattern: str,
+) -> Tuple[List[FileRegionSet], List[bytes]]:
+    """Seed ``filename`` with a completed atomic checkpoint write.
+
+    The file is written under the two-phase strategy (runnable on every
+    machine personality) with rank-identifying pattern data; returns the
+    writer views and streams so a later read can be verified against them.
+    """
+    views = views_for_pattern(pattern, M, N, nprocs, overlap_columns)
+    executor = AtomicWriteExecutor(
+        fs,
+        default_registry.create("two-phase"),
+        filename=filename,
+        comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
+    )
+    streams: dict = {}
+
+    def data_factory(rank: int, nbytes: int) -> bytes:
+        streams[rank] = rank_pattern_bytes(rank, nbytes)
+        return streams[rank]
+
+    result = executor.run(
+        nprocs,
+        view_factory=lambda rank, _P: views[rank],
+        data_factory=data_factory,
+    )
+    fs.reset_accounting()
+    return result.regions, [streams[r] for r in range(nprocs)]
+
+
+def run_read_experiment(
+    machine: MachineSpec | str,
+    M: int,
+    N: int,
+    nprocs: int,
+    strategy: str,
+    overlap_columns: int = PAPER_OVERLAP_COLUMNS,
+    array_label: Optional[str] = None,
+    verify: bool = True,
+    pattern: str = "column-wise",
+) -> ExperimentRecord:
+    """Measure one collective overlapping *read* point.
+
+    The array is first checkpointed (an atomic two-phase write, not part of
+    the measurement), then every rank reads its view of the chosen
+    partitioning collectively under ``strategy``'s staged read pipeline.
+    ``verify=True`` checks the delivered streams with
+    :func:`~repro.verify.atomicity.check_read_atomicity`.
+    """
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    fs = ParallelFileSystem(machine.make_fs_config())
+    filename = f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_{strategy}_read.dat"
+    write_regions, write_data = _checkpoint_file(
+        fs, filename, M, N, nprocs, overlap_columns, pattern
+    )
+    reader = CollectiveReadExecutor(
+        fs,
+        default_registry.create(strategy),
+        filename=filename,
+        comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
+    )
+    # The restart reads the same partitioning the checkpoint wrote; reuse the
+    # writers' already-built region sets instead of regenerating the views.
+    result = reader.run(
+        nprocs, view_factory=lambda rank, _P: write_regions[rank].segments
+    )
+    atomic_ok = True
+    if verify:
+        observations = [
+            ReadObservation(rank, result.regions[rank], result.data[rank])
+            for rank in range(nprocs)
+        ]
+        atomic_ok = check_read_atomicity(observations, write_regions, write_data).ok
+        # The checkpoint completed before the read began, so serialisability
+        # admits exactly one state: every delivered stream must equal the
+        # committed file contents — a reader returning the pre-write
+        # baseline (which check_read_atomicity must accept for *racing*
+        # workloads) would be a broken pipeline here.
+        store = result.file.store
+        atomic_ok = atomic_ok and all(
+            result.data[rank]
+            == b"".join(
+                store.read(off, length)
+                for _, off, length in result.regions[rank].buffer_map()
+            )
+            for rank in range(nprocs)
+        )
+    lock_waits = 0
+    lm = result.file.lock_manager
+    if lm is not None and hasattr(lm, "wait_count"):
+        lock_waits = lm.wait_count
+    return ExperimentRecord(
+        machine=machine.name,
+        file_system=machine.file_system,
+        array_label=array_label or f"{M}x{N}",
+        M=M,
+        N=N,
+        nprocs=nprocs,
+        strategy=strategy,
+        bytes_requested=result.total_bytes_requested,
+        bytes_written=result.total_bytes_read,
+        makespan_seconds=result.makespan,
+        atomic_ok=atomic_ok,
+        overlap_bytes=overlapped_bytes_total(result.regions),
+        phases=max(o.phases for o in result.outcomes),
+        lock_waits=lock_waits,
+        pattern=pattern,
+        mode="read",
+        extra={
+            "cache_hits": float(sum(o.cache_hits for o in result.outcomes)),
+            "cache_misses": float(sum(o.cache_misses for o in result.outcomes)),
+            "shuffled_bytes": float(sum(o.bytes_shuffled for o in result.outcomes)),
+        },
+    )
+
+
+def run_read_sweep(
+    machines: Optional[Iterable[MachineSpec | str]] = None,
+    array_labels: Optional[Sequence[str]] = None,
+    process_counts: Sequence[int] = PAPER_PROCESS_COUNTS,
+    strategies: Optional[Sequence[str]] = None,
+    row_scale: int = DEFAULT_ROW_SCALE,
+    overlap_columns: int = PAPER_OVERLAP_COLUMNS,
+    verify: bool = True,
+    pattern: str = "column-wise",
+) -> ResultTable:
+    """Sweep collective reads over machines × sizes × P × strategies.
+
+    ``strategies`` defaults to every read-capable strategy in the registry,
+    including the non-atomic baseline ``none`` — the naive per-rank read the
+    staged pipeline replaces — so two-phase aggregation can be compared
+    directly against it.
+    """
+    if machines is None:
+        machines = ALL_MACHINES
+    if array_labels is None:
+        array_labels = list(PAPER_ARRAY_SIZES)
+    if strategies is None:
+        strategies = default_registry.read_capable_names()
+    table = ResultTable()
+    for machine in machines:
+        spec = machine_by_name(machine) if isinstance(machine, str) else machine
+        for label in array_labels:
+            M, N = PAPER_ARRAY_SIZES[label]
+            if M % row_scale != 0:
+                raise ValueError(f"row_scale {row_scale} does not divide M={M}")
+            for nprocs in process_counts:
+                for strategy in strategies:
+                    if strategy != "none" and not default_registry.supported_on(
+                        strategy, spec.supports_locking
+                    ):
+                        continue
+                    table.add(
+                        run_read_experiment(
+                            spec,
+                            M // row_scale,
+                            N,
+                            nprocs,
+                            strategy,
+                            overlap_columns=overlap_columns,
+                            array_label=label,
+                            verify=verify,
+                            pattern=pattern,
+                        )
+                    )
+    return table
+
+
+def run_mixed_experiment(
+    machine: MachineSpec | str,
+    M: int,
+    N: int,
+    nprocs: int,
+    overlap_columns: int = PAPER_OVERLAP_COLUMNS,
+    array_label: Optional[str] = None,
+    verify: bool = True,
+    pattern: str = "column-wise",
+) -> ExperimentRecord:
+    """Race a writer group against a reader group on one shared file.
+
+    Even world ranks form a writer group performing a concurrent overlapping
+    atomic write; odd world ranks form a reader group collectively reading
+    overlapping views of the same array.  Both groups run under byte-range
+    locking — the one strategy that serialises two *independent* concurrent
+    operations (readers take shared-mode extent locks, writers exclusive
+    ones), exactly the situation ROMIO's atomic mode handles.  Verifies both
+    MPI write atomicity (provenance) and read atomicity (no reader observed
+    a state outside some sequential ordering of the writes).
+    """
+    if isinstance(machine, str):
+        machine = machine_by_name(machine)
+    if not machine.supports_locking:
+        raise ValueError(
+            "the mixed read/write experiment requires byte-range locking "
+            f"({machine.name} has none)"
+        )
+    if nprocs < 2:
+        raise ValueError("a mixed experiment needs at least one writer and one reader")
+    fs = ParallelFileSystem(machine.make_fs_config())
+    filename = f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_mixed.dat"
+    n_writers = (nprocs + 1) // 2
+    n_readers = nprocs - n_writers
+    # Seed a pre-write baseline directly (provenance -2): racing readers may
+    # legitimately observe it, so it must *differ* from every racing
+    # writer's data — otherwise a torn read (half old, half new bytes)
+    # would be byte-identical to a clean one and the verification vacuous.
+    # rank_pattern_bytes streams of distinct ranks (mod 251) never agree
+    # byte-for-byte, and the writers use ranks 0..n_writers-1.
+    baseline = rank_pattern_bytes(n_writers + 100, M * N)
+    fobj = fs.create(filename)
+    fobj.store.write(0, baseline, writer=-2)  # pre-state provenance marker
+    write_views = views_for_pattern(pattern, M, N, n_writers, overlap_columns)
+    read_views = views_for_pattern(pattern, M, N, n_readers, overlap_columns)
+    write_regions = [FileRegionSet(i, segs) for i, segs in enumerate(write_views)]
+    read_regions = [FileRegionSet(i, segs) for i, segs in enumerate(read_views)]
+    write_data = [
+        rank_pattern_bytes(i, write_regions[i].total_bytes) for i in range(n_writers)
+    ]
+    strategy = default_registry.create("locking")
+
+    def rank_main(comm: Communicator):
+        is_writer = comm.rank % 2 == 0
+        sub = comm.split(color=0 if is_writer else 1)
+        if is_writer:
+            region = write_regions[sub.rank]
+            client = FSClient(fs, client_id=sub.rank, clock=comm.clock)
+            handle = client.open(filename, create=False)
+            try:
+                outcome = strategy.execute_write(
+                    sub, handle, region, write_data[sub.rank]
+                )
+            finally:
+                handle.close()
+            return ("write", outcome, None)
+        region = read_regions[sub.rank]
+        # Reader client ids live above the writer id range so lock ownership
+        # and provenance never collide.
+        client = FSClient(fs, client_id=nprocs + sub.rank, clock=comm.clock)
+        handle = client.open(filename, create=False)
+        try:
+            data, outcome = strategy.execute_read(sub, handle, region)
+        finally:
+            handle.close()
+        return ("read", outcome, data)
+
+    spmd = run_spmd(
+        rank_main, nprocs, comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8)
+    )
+    reads = [
+        (outcome, data) for kind, outcome, data in spmd.returns if kind == "read"
+    ]
+    atomic_ok = True
+    if verify:
+        observations = [
+            ReadObservation(i, read_regions[i], data)
+            for i, (_, data) in enumerate(reads)
+        ]
+        read_ok = check_read_atomicity(
+            observations, write_regions, write_data, baseline=baseline
+        ).ok
+        write_ok = check_mpi_atomicity(fobj.store, write_regions).ok
+        atomic_ok = read_ok and write_ok
+    bytes_requested = sum(r.total_bytes for r in write_regions) + sum(
+        r.total_bytes for r in read_regions
+    )
+    bytes_moved = sum(
+        o.bytes_written if kind == "write" else o.bytes_read
+        for kind, o, _ in spmd.returns
+    )
+    lm = fobj.lock_manager
+    return ExperimentRecord(
+        machine=machine.name,
+        file_system=machine.file_system,
+        array_label=array_label or f"{M}x{N}",
+        M=M,
+        N=N,
+        nprocs=nprocs,
+        strategy="locking",
+        bytes_requested=bytes_requested,
+        bytes_written=bytes_moved,
+        makespan_seconds=spmd.makespan,
+        atomic_ok=atomic_ok,
+        overlap_bytes=overlapped_bytes_total(write_regions),
+        phases=1,
+        lock_waits=lm.wait_count if lm is not None and hasattr(lm, "wait_count") else 0,
+        pattern=pattern,
+        mode="mixed",
+    )

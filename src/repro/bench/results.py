@@ -28,6 +28,9 @@ class ExperimentRecord:
     nprocs: int
     strategy: str
     bytes_requested: int
+    #: Bytes moved to/from the file system (for ``mode="read"`` this is the
+    #: fetched volume — smaller than requested when an aggregation strategy
+    #: de-duplicates overlapped bytes).
     bytes_written: int
     makespan_seconds: float
     atomic_ok: bool
@@ -35,6 +38,9 @@ class ExperimentRecord:
     phases: int = 1
     lock_waits: int = 0
     pattern: str = "column-wise"
+    #: Which direction the experiment measured: ``"write"``, ``"read"`` or
+    #: ``"mixed"`` (concurrent writer and reader groups).
+    mode: str = "write"
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -51,9 +57,10 @@ class ExperimentRecord:
             "fs": self.file_system,
             "array": self.array_label,
             "P": str(self.nprocs),
+            "op": self.mode,
             "strategy": self.strategy,
             "MB requested": f"{self.bytes_requested / MB:.1f}",
-            "MB written": f"{self.bytes_written / MB:.1f}",
+            "MB moved": f"{self.bytes_written / MB:.1f}",
             "time (s)": f"{self.makespan_seconds:.4f}",
             "BW (MB/s)": f"{self.bandwidth_mb_per_s:.2f}",
             "atomic": "yes" if self.atomic_ok else "NO",

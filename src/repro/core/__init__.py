@@ -29,6 +29,10 @@ from .pipeline import (
     LockDirective,
     PhasePlan,
     PhaseRunner,
+    ReadPhasePlan,
+    ReadPlan,
+    ReadRunner,
+    ReadStep,
     ViewExchange,
     WritePlan,
     WriteStep,
@@ -36,9 +40,11 @@ from .pipeline import (
 from .registry import StrategyRegistry, default_registry, register_strategy
 from .aggregation import (
     AggregatedRun,
+    assemble_stream,
     choose_aggregators,
     merge_pieces,
     partition_domain,
+    scatter_pieces,
 )
 from .strategies import (
     STRATEGY_NAMES,
@@ -48,11 +54,18 @@ from .strategies import (
     NoAtomicityStrategy,
     PipelineStrategy,
     RankOrderingStrategy,
+    ReadOutcome,
     TwoPhaseStrategy,
     WriteOutcome,
     strategy_by_name,
 )
-from .executor import AtomicWriteExecutor, ConcurrentWriteResult, default_data_factory
+from .executor import (
+    AtomicWriteExecutor,
+    CollectiveReadExecutor,
+    ConcurrentReadResult,
+    ConcurrentWriteResult,
+    default_data_factory,
+)
 from .analysis import ColumnWiseCase, StrategyEstimate, analyze_regions, estimate_column_wise
 
 __all__ = [
@@ -85,6 +98,7 @@ __all__ = [
     "RankOrderingStrategy",
     "TwoPhaseStrategy",
     "WriteOutcome",
+    "ReadOutcome",
     "strategy_by_name",
     "STRATEGY_NAMES",
     "ViewExchange",
@@ -95,6 +109,10 @@ __all__ = [
     "PhasePlan",
     "WritePlan",
     "PhaseRunner",
+    "ReadStep",
+    "ReadPhasePlan",
+    "ReadPlan",
+    "ReadRunner",
     "StrategyRegistry",
     "default_registry",
     "register_strategy",
@@ -102,8 +120,12 @@ __all__ = [
     "choose_aggregators",
     "partition_domain",
     "merge_pieces",
+    "scatter_pieces",
+    "assemble_stream",
     "AtomicWriteExecutor",
     "ConcurrentWriteResult",
+    "CollectiveReadExecutor",
+    "ConcurrentReadResult",
     "default_data_factory",
     "ColumnWiseCase",
     "StrategyEstimate",

@@ -24,6 +24,14 @@ This module holds the deterministic, communication-free pieces (every rank
 computes the identical election and partitioning from the exchanged views);
 the shuffle itself lives in
 :class:`repro.core.strategies.TwoPhaseStrategy`.
+
+The **two-phase collective read** is the mirror image: the aggregators each
+read their disjoint file-domain chunk *once* (so an overlapped byte costs one
+server read no matter how many consumers want it), then scatter the pieces of
+every consumer's view back through the same ``alltoallv`` primitive.
+:func:`scatter_pieces` cuts an aggregator's fetched chunk into per-consumer
+pieces and :func:`assemble_stream` places the received pieces into a
+consumer's contiguous data stream.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .intervals import IntervalSet
+from .intervals import IntervalSet, clip_sorted_runs
 from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
 
 __all__ = [
@@ -42,6 +50,8 @@ __all__ = [
     "choose_aggregators",
     "partition_domain",
     "merge_pieces",
+    "scatter_pieces",
+    "assemble_stream",
 ]
 
 #: One contiguous merged extent an aggregator writes: the winning data and
@@ -160,3 +170,64 @@ def merge_pieces(
                 AggregatedRun(offset=lo + int(s), data=merged[s:e].tobytes(), origin=who)
             )
     return runs
+
+
+def scatter_pieces(
+    held: Sequence[Tuple[int, int, int]],
+    buffer: "bytes | bytearray",
+    coverages: Sequence[IntervalSet],
+) -> List[List[Tuple[int, bytes]]]:
+    """Cut an aggregator's fetched file-domain chunk into per-consumer pieces.
+
+    ``held`` lists the aggregator's resident runs as ``(start, stop,
+    buffer_offset)`` triples in file order: file bytes ``[start, stop)`` live
+    at ``buffer[buffer_offset : buffer_offset + (stop - start)]``.
+    ``coverages[r]`` is consumer ``r``'s requested byte set.  Returns, for
+    each consumer, the ``(file_offset, data)`` pieces of its request that
+    this aggregator holds — the send buffers of the scatter half of a
+    two-phase collective read.
+
+    Routed by bisection over the file-ordered runs, so the cost scales with
+    the consumers' piece count, not with ``len(held) * len(coverages)``.
+    """
+    out: List[List[Tuple[int, bytes]]] = [[] for _ in coverages]
+    if not held:
+        return out
+    starts = [start for start, _, _ in held]
+    stops = [stop for _, stop, _ in held]
+    for dest, coverage in enumerate(coverages):
+        for iv in coverage:
+            for lo, hi, idx in clip_sorted_runs(starts, stops, iv.start, iv.stop):
+                start, _, buf = held[idx]
+                out[dest].append(
+                    (lo, bytes(buffer[buf + (lo - start) : buf + (hi - start)]))
+                )
+    return out
+
+
+def assemble_stream(
+    pieces: Sequence[Tuple[int, bytes]],
+    buffer_map: Sequence[Tuple[int, int, int]],
+    total_bytes: int,
+) -> Tuple[bytes, int]:
+    """Place received ``(file_offset, data)`` pieces into a contiguous stream.
+
+    ``buffer_map`` is the consumer's
+    :meth:`~repro.core.regions.FileRegionSet.buffer_map`; the returned stream
+    is the rank's user data stream with every covered byte filled from the
+    pieces.  Returns ``(stream, filled_bytes)`` so the caller can verify that
+    the scatter delivered the whole request.
+    """
+    stream = bytearray(total_bytes)
+    filled = 0
+    ordered = sorted(pieces)
+    starts = [off for off, _ in ordered]
+    stops = [off + len(data) for off, data in ordered]
+    for buf_off, file_off, length in buffer_map:
+        for lo, hi, idx in clip_sorted_runs(starts, stops, file_off, file_off + length):
+            off, data = ordered[idx]
+            stream[buf_off + (lo - file_off) : buf_off + (hi - file_off)] = data[
+                lo - off : hi - off
+            ]
+            filled += hi - lo
+    return bytes(stream), filled

@@ -1,4 +1,4 @@
-"""High-level driver for concurrent overlapping writes.
+"""High-level drivers for concurrent overlapping reads and writes.
 
 :class:`AtomicWriteExecutor` runs a complete concurrent-overlapping-write
 experiment: it spins up ``nprocs`` SPMD ranks, gives each a file system
@@ -7,8 +7,14 @@ client whose virtual clock is the rank's MPI clock, lets every rank write its
 returns the per-rank outcomes together with the resulting file object so the
 result can be verified and timed.
 
-This is the entry point used by the examples, the integration tests and the
-Figure 8 benchmark harness.
+:class:`CollectiveReadExecutor` is the mirror image for the staged read
+pipeline: every rank reads its (possibly overlapping) file view collectively
+under a chosen strategy, and the result carries the per-rank
+:class:`~repro.core.strategies.ReadOutcome` records plus the delivered data
+streams, ready for :func:`repro.verify.atomicity.check_read_atomicity`.
+
+These are the entry points used by the examples, the integration tests and
+the benchmark harness.
 """
 
 from __future__ import annotations
@@ -18,14 +24,19 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from ..mpi.cost import CommCostModel
 from .regions import FileRegionSet
-from .strategies import AtomicityStrategy, WriteOutcome
+from .strategies import AtomicityStrategy, ReadOutcome, WriteOutcome
 
 if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
     from ..fs.filesystem import FileObject, ParallelFileSystem
     from ..mpi.comm import Communicator
     from ..mpi.runtime import SPMDResult
 
-__all__ = ["ConcurrentWriteResult", "AtomicWriteExecutor"]
+__all__ = [
+    "ConcurrentWriteResult",
+    "AtomicWriteExecutor",
+    "ConcurrentReadResult",
+    "CollectiveReadExecutor",
+]
 
 #: A view factory maps (rank, nprocs) to the rank's flattened file view
 #: segments, ``[(file_offset, length), ...]`` in data-stream order.
@@ -147,6 +158,108 @@ class AtomicWriteExecutor:
             fs=fs,
             file=fobj,
             outcomes=list(spmd.returns),
+            spmd=spmd,
+            regions=regions,
+        )
+
+
+@dataclass
+class ConcurrentReadResult:
+    """Everything produced by one collective overlapping read."""
+
+    filename: str
+    fs: ParallelFileSystem
+    file: FileObject
+    outcomes: List[ReadOutcome]
+    #: ``data[rank]`` is the contiguous stream delivered to the rank.
+    data: List[bytes]
+    spmd: SPMDResult
+    regions: List[FileRegionSet] = field(default_factory=list)
+
+    @property
+    def nprocs(self) -> int:
+        """Number of participating processes."""
+        return len(self.outcomes)
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last rank finished (seconds)."""
+        return self.spmd.makespan
+
+    @property
+    def total_bytes_requested(self) -> int:
+        """Bytes the application asked to read."""
+        return sum(o.bytes_requested for o in self.outcomes)
+
+    @property
+    def total_bytes_read(self) -> int:
+        """Bytes actually fetched from the file system (smaller than the
+        requested volume when an aggregation strategy de-duplicates
+        overlapped bytes)."""
+        return sum(o.bytes_read for o in self.outcomes)
+
+    def bandwidth(self) -> float:
+        """Effective read bandwidth in bytes/second of virtual time
+        (requested volume over the slowest rank's time, as for writes)."""
+        if self.makespan <= 0:
+            return float("inf") if self.total_bytes_requested else 0.0
+        return self.total_bytes_requested / self.makespan
+
+
+class CollectiveReadExecutor:
+    """Runs collective overlapping reads under an atomicity strategy.
+
+    The file must already exist on the file system (a previous write, e.g. a
+    checkpoint); each rank reads its view through the strategy's staged read
+    pipeline and the result carries the delivered streams for verification.
+    """
+
+    def __init__(
+        self,
+        fs: ParallelFileSystem,
+        strategy: AtomicityStrategy,
+        filename: str = "shared.dat",
+        comm_cost: Optional[CommCostModel] = None,
+    ) -> None:
+        self.fs = fs
+        self.strategy = strategy
+        self.filename = filename
+        self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+
+    def run(self, nprocs: int, view_factory: ViewFactory) -> ConcurrentReadResult:
+        """Execute the collective read on ``nprocs`` ranks."""
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        from ..fs.client import FSClient
+        from ..mpi.runtime import run_spmd
+
+        fs = self.fs
+        filename = self.filename
+        strategy = self.strategy
+        fobj = fs.lookup(filename)
+
+        regions = [
+            FileRegionSet(rank, view_factory(rank, nprocs)) for rank in range(nprocs)
+        ]
+
+        def rank_main(comm: Communicator) -> Tuple[bytes, ReadOutcome]:
+            rank = comm.rank
+            region = regions[rank]
+            client = FSClient(fs, client_id=rank, clock=comm.clock)
+            handle = client.open(filename, create=False)
+            try:
+                data, outcome = strategy.execute_read(comm, handle, region)
+            finally:
+                handle.close()
+            return data, outcome
+
+        spmd = run_spmd(rank_main, nprocs, comm_cost=self.comm_cost)
+        return ConcurrentReadResult(
+            filename=filename,
+            fs=fs,
+            file=fobj,
+            outcomes=[outcome for _, outcome in spmd.returns],
+            data=[data for data, _ in spmd.returns],
             spmd=spmd,
             regions=regions,
         )

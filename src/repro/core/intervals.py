@@ -19,10 +19,38 @@ number of array rows per process (thousands at most), and the algorithms are
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Interval", "IntervalSet"]
+__all__ = ["Interval", "IntervalSet", "clip_sorted_runs"]
+
+
+def clip_sorted_runs(
+    starts: Sequence[int],
+    stops: Sequence[int],
+    qstart: int,
+    qstop: int,
+) -> Iterator[Tuple[int, int, int]]:
+    """Clip the query range ``[qstart, qstop)`` against sorted, disjoint runs.
+
+    ``starts``/``stops`` describe runs ``[starts[i], stops[i])`` in ascending
+    file order.  Yields ``(lo, hi, i)`` for every non-empty intersection of
+    the query with run ``i``, found by bisection — the routing sweep shared
+    by the two-phase shuffle/scatter, stream assembly and the read-atomicity
+    verifier's stream images.
+    """
+    idx = max(bisect_right(starts, qstart) - 1, 0)
+    n = len(starts)
+    while idx < n:
+        start = starts[idx]
+        if start >= qstop:
+            break
+        lo = max(qstart, start)
+        hi = min(qstop, stops[idx])
+        if lo < hi:
+            yield lo, hi, idx
+        idx += 1
 
 
 @dataclass(frozen=True, order=True)

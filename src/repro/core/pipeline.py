@@ -35,6 +35,19 @@ stages, so a strategy is nothing but a particular configuration of them:
 The legacy strategies (locking, graph-coloring, rank-ordering) and the
 two-phase aggregation strategy are all expressed as compositions of these
 stages — see :mod:`repro.core.strategies`.
+
+The **read pipeline** mirrors the write pipeline with the data flowing the
+other way: stages 1 and 2 are shared unchanged (the exchange and the
+analysis do not care about the transfer direction), stage 3 produces a
+:class:`ReadPlan` — :class:`ReadStep` transfers grouped into
+:class:`ReadPhasePlan` phases, with shared-mode :class:`LockDirective` locks
+and per-phase cache-invalidation directives instead of sync directives —
+and stage 4 is the :class:`ReadRunner`, which fetches each step into a named
+*sink* buffer and accounts everything into a
+:class:`~repro.core.strategies.ReadOutcome`.  Because a collective read may
+move fetched bytes *between* ranks after the file I/O (the two-phase scatter),
+delivery of the user stream is a strategy hook that runs after the runner —
+see :meth:`repro.core.strategies.PipelineStrategy.execute_read`.
 """
 
 from __future__ import annotations
@@ -67,6 +80,10 @@ __all__ = [
     "PhasePlan",
     "WritePlan",
     "PhaseRunner",
+    "ReadStep",
+    "ReadPhasePlan",
+    "ReadPlan",
+    "ReadRunner",
     "USER_PAYLOAD",
 ]
 
@@ -320,6 +337,90 @@ class WritePlan:
 
 
 # ---------------------------------------------------------------------------
+# Stage 3 (read side) — the declarative read schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReadStep:
+    """One contiguous transfer: file bytes → a named sink buffer.
+
+    ``sink`` names the buffer the fetched bytes land in (``"user"`` for the
+    rank's own data stream; the two-phase read strategy fills an aggregation
+    sink it later scatters to the consumers).
+    """
+
+    buffer_offset: int
+    file_offset: int
+    length: int
+    sink: str = USER_PAYLOAD
+
+
+@dataclass
+class ReadPhasePlan:
+    """The I/O this rank performs in one phase of the collective read."""
+
+    index: int
+    steps: List[ReadStep] = field(default_factory=list)
+    #: Bypass the client cache (the behaviour of reads under a lock).
+    direct: bool = False
+    #: Drop cached pages before the phase's transfers, so they observe data
+    #: that peers flushed since the pages were cached (the invalidate half of
+    #: the paper's handshaking protocol; the cache flushes its own dirty
+    #: pages first — sync-then-invalidate).
+    invalidate_before: bool = False
+    #: Synchronise with every other rank before the next phase may begin.
+    barrier_after: bool = False
+
+    @property
+    def bytes_scheduled(self) -> int:
+        """Total file bytes this phase fetches."""
+        return sum(s.length for s in self.steps)
+
+
+@dataclass
+class ReadPlan:
+    """A complete declarative schedule for one rank's collective read."""
+
+    strategy: str
+    rank: int
+    bytes_requested: int
+    phases: List[ReadPhasePlan] = field(default_factory=list)
+    #: Byte-range locks held for the duration of the plan; read schedules use
+    #: shared mode so concurrent readers coexist while conflicting writers
+    #: (exclusive mode) still serialise against them.
+    locks: List[LockDirective] = field(default_factory=list)
+    my_phase: int = 0
+    colors_used: int = 0
+    #: Override for the reported phase count (the two-phase read reports its
+    #: scatter phase even though only the read phase performs file I/O).
+    reported_phases: Optional[int] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_phases(self) -> int:
+        """Phase count reported in the outcome (at least 1)."""
+        if self.reported_phases is not None:
+            return self.reported_phases
+        return max(len(self.phases), 1)
+
+    @property
+    def bytes_scheduled(self) -> int:
+        """Total file bytes scheduled across all phases."""
+        return sum(p.bytes_scheduled for p in self.phases)
+
+    def sink_sizes(self) -> Dict[str, int]:
+        """Required size of each sink buffer (max step end per sink)."""
+        sizes: Dict[str, int] = {}
+        for phase in self.phases:
+            for step in phase.steps:
+                end = step.buffer_offset + step.length
+                if end > sizes.get(step.sink, 0):
+                    sizes[step.sink] = end
+        return sizes
+
+
+# ---------------------------------------------------------------------------
 # Stage 4 — plan execution
 # ---------------------------------------------------------------------------
 
@@ -388,3 +489,78 @@ class PhaseRunner:
                 handle.unlock(lock)
         out.end_time = handle.clock.now
         return out
+
+
+class ReadRunner:
+    """Execute a :class:`ReadPlan` against a client file handle.
+
+    Strategy-agnostic, like :class:`PhaseRunner`: locks (shared mode for
+    reads) are acquired before the first phase and released after the last;
+    each phase optionally invalidates the client cache first, then issues its
+    steps as one batched read whose results land in the named sink buffers.
+    Returns the :class:`~repro.core.strategies.ReadOutcome` plus the filled
+    sinks — delivery of the user stream (which may involve communication,
+    e.g. the two-phase scatter) is the strategy's job.
+    """
+
+    def execute(
+        self,
+        comm: Communicator,
+        handle: ClientFileHandle,
+        plan: ReadPlan,
+        start_time: Optional[float] = None,
+    ) -> Tuple["ReadOutcome", Dict[str, bytearray]]:
+        """Run ``plan``; returns ``(outcome, sinks)``.
+
+        ``start_time`` backdates the outcome to when the pipeline started
+        (stage 1), so the negotiation cost is part of the measured time.
+        """
+        from .strategies import ReadOutcome  # local import: avoids a cycle
+
+        out = ReadOutcome(
+            strategy=plan.strategy,
+            rank=plan.rank,
+            bytes_requested=plan.bytes_requested,
+            phases=plan.num_phases,
+            my_phase=plan.my_phase,
+            colors_used=plan.colors_used,
+            start_time=handle.clock.now if start_time is None else start_time,
+            extra=dict(plan.extra),
+        )
+        sinks: Dict[str, bytearray] = {
+            name: bytearray(size) for name, size in plan.sink_sizes().items()
+        }
+        stats = handle.cache.stats
+        hits0, misses0 = stats.hits, stats.misses
+        clock = handle.clock
+        held = []
+        try:
+            for directive in plan.locks:
+                waited0 = clock.waited
+                held.append(handle.lock(directive.start, directive.stop, mode=directive.mode))
+                out.locks_acquired += 1
+                out.lock_wait_seconds += clock.waited - waited0
+            for phase in plan.phases:
+                if phase.invalidate_before:
+                    handle.invalidate()
+                    out.invalidations += 1
+                if phase.steps:
+                    fetched = handle.read_batch(
+                        [(s.file_offset, s.length) for s in phase.steps],
+                        direct=phase.direct,
+                    )
+                    for step, data in zip(phase.steps, fetched):
+                        sinks[step.sink][
+                            step.buffer_offset : step.buffer_offset + len(data)
+                        ] = data
+                        out.bytes_read += len(data)
+                    out.segments_read += len(phase.steps)
+                if phase.barrier_after:
+                    comm.barrier()
+        finally:
+            for lock in held:
+                handle.unlock(lock)
+        out.cache_hits = stats.hits - hits0
+        out.cache_misses = stats.misses - misses0
+        out.end_time = clock.now
+        return out, sinks

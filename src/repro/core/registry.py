@@ -97,6 +97,13 @@ class StrategyRegistry:
             if getattr(cls, "provides_atomicity", True)
         )
 
+    def read_capable_names(self) -> Tuple[str, ...]:
+        """Names of strategies implementing the collective read pipeline."""
+        return tuple(
+            n for n, cls in self._classes.items()
+            if getattr(cls, "supports_collective_read", False)
+        )
+
     def supported_on(self, name: str, supports_locking: bool) -> bool:
         """Whether the named strategy can run on a machine with/without
         byte-range lock support.  The single encoding of the capability rule:

@@ -48,18 +48,42 @@ Implemented strategies:
 
 All strategies are *collective over the communicator*: every rank of the
 concurrent operation must call :meth:`AtomicityStrategy.execute_write`.
+
+Every strategy also implements the **collective read** side
+(:meth:`AtomicityStrategy.execute_read`) through the mirrored read pipeline
+(:class:`~repro.core.pipeline.ReadPlan` / :class:`~repro.core.pipeline.ReadRunner`):
+
+* ``none`` / ``graph-coloring`` / ``rank-ordering`` — invalidate the client
+  cache (sync-then-invalidate, the paper's protocol for observing peers'
+  flushed writes), then read the full view through the cache in one fully
+  parallel phase; reads commute with reads, so no coloring phases or view
+  trimming are needed — serialisation against conflicting *writers* comes
+  from the cache protocol (their sync-after-write, our invalidate-before-read).
+* ``locking`` — a *shared-mode* byte-range lock over the view extent, then
+  direct reads: concurrent readers coexist while conflicting exclusive
+  writers serialise against them.
+* ``two-phase`` — aggregators read their disjoint file-domain chunks *once*
+  (direct, no cache invalidation — resident pages stay warm), then scatter
+  every consumer's pieces through ``alltoallv``; an overlapped byte costs one
+  server read no matter how many ranks request it.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-from .aggregation import choose_aggregators, merge_pieces, partition_domain
+from ..fs.lockmanager import LockMode
+from .aggregation import (
+    assemble_stream,
+    choose_aggregators,
+    merge_pieces,
+    partition_domain,
+    scatter_pieces,
+)
 from .coloring import ColoringResult
-from .intervals import IntervalSet, merge_interval_sets
+from .intervals import IntervalSet, clip_sorted_runs, merge_interval_sets
 from .pipeline import (
     _SharedMemo,
     ConflictAnalysis,
@@ -67,6 +91,10 @@ from .pipeline import (
     LockDirective,
     PhasePlan,
     PhaseRunner,
+    ReadPhasePlan,
+    ReadPlan,
+    ReadRunner,
+    ReadStep,
     USER_PAYLOAD,
     ViewExchange,
     WritePlan,
@@ -82,6 +110,7 @@ if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
 
 __all__ = [
     "WriteOutcome",
+    "ReadOutcome",
     "AtomicityStrategy",
     "PipelineStrategy",
     "NoAtomicityStrategy",
@@ -121,6 +150,43 @@ class WriteOutcome:
         return self.end_time - self.start_time
 
 
+@dataclass
+class ReadOutcome:
+    """Per-rank accounting of one collective-read execution.
+
+    Symmetric to :class:`WriteOutcome`: ``bytes_requested`` is the volume the
+    rank's view covers (and ``bytes_returned`` what the strategy delivered to
+    it), ``bytes_read`` the volume actually fetched from the file system —
+    smaller than the sum of requests when an aggregation strategy reads each
+    overlapped byte once — and ``bytes_shuffled`` the volume moved between
+    ranks by a scatter phase.
+    """
+
+    strategy: str
+    rank: int
+    bytes_requested: int = 0
+    bytes_returned: int = 0
+    bytes_read: int = 0
+    bytes_shuffled: int = 0
+    segments_read: int = 0
+    locks_acquired: int = 0
+    lock_wait_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    invalidations: int = 0
+    phases: int = 1
+    my_phase: int = 0
+    colors_used: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual time this rank spent in the strategy."""
+        return self.end_time - self.start_time
+
+
 class AtomicityStrategy(ABC):
     """Interface of an MPI-atomicity implementation strategy."""
 
@@ -130,6 +196,9 @@ class AtomicityStrategy(ABC):
     provides_atomicity: bool = True
     #: Whether the strategy needs byte-range locks from the file system.
     requires_locks: bool = False
+    #: Whether the strategy implements the collective read pipeline
+    #: (:meth:`execute_read`).  Every :class:`PipelineStrategy` does.
+    supports_collective_read: bool = False
 
     @abstractmethod
     def execute_write(
@@ -154,6 +223,22 @@ class AtomicityStrategy(ABC):
             ``region.total_bytes``.
         """
 
+    def execute_read(
+        self,
+        comm: Communicator,
+        handle: ClientFileHandle,
+        region: FileRegionSet,
+    ) -> Tuple[bytes, ReadOutcome]:
+        """Perform this rank's part of a collective read.
+
+        Returns ``(data, outcome)`` where ``data`` is the rank's contiguous
+        data stream (``region.total_bytes`` bytes, in view order).  Collective
+        over the communicator, like :meth:`execute_write`.
+        """
+        raise NotImplementedError(
+            f"strategy {self.name!r} does not implement collective reads"
+        )
+
     # -- shared helpers ------------------------------------------------------------
 
     @staticmethod
@@ -175,11 +260,24 @@ class PipelineStrategy(AtomicityStrategy):
     and implement :meth:`schedule`, which turns the conflict report into a
     declarative :class:`~repro.core.pipeline.WritePlan` plus the payload
     buffers its steps draw from.  Execution is shared.
+
+    The collective-read side is symmetric: stages 1 and 2 are reused as-is
+    (the exchange and analysis are direction-agnostic), :meth:`schedule_read`
+    builds a :class:`~repro.core.pipeline.ReadPlan`, the shared
+    :class:`~repro.core.pipeline.ReadRunner` fetches it into named sinks, and
+    :meth:`deliver_read` turns the sinks into the rank's contiguous data
+    stream — the one read-specific hook, because delivery may involve
+    communication (the two-phase scatter).  The default ``schedule_read`` /
+    ``deliver_read`` pair — invalidate, then read the full view through the
+    cache in one parallel phase — is correct for any strategy, so registering
+    a new write strategy yields a working collective read for free.
     """
 
     exchange: ViewExchange = ViewExchange(enabled=False)
     analysis: ConflictAnalysis = ConflictAnalysis(mode="none")
     runner: PhaseRunner = PhaseRunner()
+    read_runner: ReadRunner = ReadRunner()
+    supports_collective_read = True
 
     def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
         self._check_request(region, data)
@@ -188,6 +286,25 @@ class PipelineStrategy(AtomicityStrategy):
         report = self.analysis.run(regions)
         plan, payloads = self.schedule(comm, region, data, report)
         return self.runner.execute(comm, handle, plan, payloads, start_time=start_time)
+
+    def execute_read(self, comm, handle, region):  # noqa: D102 - see base
+        start_time = handle.clock.now
+        # Push this rank's own write-behind data to the servers before any
+        # read I/O happens — its own direct reads (locking), an aggregator's
+        # read on its behalf (two-phase, whose fetches only start after the
+        # exchange rendezvous below, i.e. after every rank has flushed), or
+        # its own cached reads.  Without this, a direct read would return
+        # the servers' stale bytes for data this very rank wrote.
+        handle.sync()
+        regions = self.exchange.run(comm, region)
+        report = self.analysis.run(regions)
+        plan = self.schedule_read(comm, region, report)
+        outcome, sinks = self.read_runner.execute(comm, handle, plan, start_time=start_time)
+        data = self.deliver_read(comm, region, report, outcome, sinks)
+        # Delivery may communicate; the outcome covers it.
+        outcome.end_time = handle.clock.now
+        outcome.bytes_returned = len(data)
+        return data, outcome
 
     @abstractmethod
     def schedule(
@@ -199,9 +316,51 @@ class PipelineStrategy(AtomicityStrategy):
     ) -> Tuple[WritePlan, Dict[str, bytes]]:
         """Build this rank's write plan from the conflict analysis."""
 
+    def schedule_read(
+        self,
+        comm: Communicator,
+        region: FileRegionSet,
+        report: ConflictReport,
+    ) -> ReadPlan:
+        """Build this rank's read plan from the conflict analysis.
+
+        Default schedule: drop cached pages that peers may have overwritten
+        (sync-then-invalidate), then read the full view through the cache in
+        one fully parallel phase.  Reads commute with reads, so no strategy
+        needs phases or trimming for correctness; strategies override this to
+        trade the invalidation and the per-rank read amplification away.
+        """
+        phase = ReadPhasePlan(
+            index=0,
+            steps=self._read_steps(region.buffer_map()),
+            direct=not getattr(self, "use_cache", True),
+            invalidate_before=True,
+        )
+        return self._read_plan(region, phases=[phase])
+
+    def deliver_read(
+        self,
+        comm: Communicator,
+        region: FileRegionSet,
+        report: ConflictReport,
+        outcome: ReadOutcome,
+        sinks: Dict[str, bytearray],
+    ) -> bytes:
+        """Turn the runner's filled sinks into the rank's data stream."""
+        return bytes(sinks.get(USER_PAYLOAD, bytearray()))
+
     def _plan(self, region: FileRegionSet, **kwargs) -> WritePlan:
         """A fresh plan pre-filled with the request bookkeeping."""
         return WritePlan(
+            strategy=self.name,
+            rank=region.rank,
+            bytes_requested=region.total_bytes,
+            **kwargs,
+        )
+
+    def _read_plan(self, region: FileRegionSet, **kwargs) -> ReadPlan:
+        """A fresh read plan pre-filled with the request bookkeeping."""
+        return ReadPlan(
             strategy=self.name,
             rank=region.rank,
             bytes_requested=region.total_bytes,
@@ -213,6 +372,16 @@ class PipelineStrategy(AtomicityStrategy):
         """Turn a region buffer map into user-payload write steps."""
         return [
             WriteStep(buffer_offset=buf, file_offset=off, length=length)
+            for buf, off, length in buffer_map
+        ]
+
+    @staticmethod
+    def _read_steps(
+        buffer_map: Sequence[Tuple[int, int, int]], sink: str = USER_PAYLOAD
+    ) -> List[ReadStep]:
+        """Turn a region buffer map into read steps targeting ``sink``."""
+        return [
+            ReadStep(buffer_offset=buf, file_offset=off, length=length, sink=sink)
             for buf, off, length in buffer_map
         ]
 
@@ -260,6 +429,24 @@ class LockingStrategy(PipelineStrategy):
         )
         return plan, {USER_PAYLOAD: data}
 
+    def schedule_read(self, comm, region, report):  # noqa: D102 - see base
+        if region.is_empty():
+            return self._read_plan(region)
+        extent = region.extent()
+        # Shared mode: concurrent readers are granted together; only a
+        # conflicting exclusive (writer) lock serialises against us.  Reads
+        # under the lock go direct (and the pipeline already flushed this
+        # rank's dirty pages), so no cache invalidation is needed and
+        # resident pages stay warm for later unlocked reads.
+        return self._read_plan(
+            region,
+            locks=[LockDirective(extent.start, extent.stop, mode=LockMode.SHARED)],
+            phases=[
+                ReadPhasePlan(index=0, steps=self._read_steps(region.buffer_map()), direct=True)
+            ],
+            extra={"locked_bytes": float(extent.length)},
+        )
+
 
 @register_strategy
 class GraphColoringStrategy(PipelineStrategy):
@@ -302,6 +489,26 @@ class GraphColoringStrategy(PipelineStrategy):
             colors_used=coloring.num_colors,
         )
         return plan, {USER_PAYLOAD: data}
+
+    def schedule_read(self, comm, region, report):  # noqa: D102 - see base
+        # The handshake (view exchange + coloring) ran, but reads commute
+        # with reads: the colouring resolves write-write conflicts, so the
+        # read schedule is one fully parallel phase.  The invalidation is the
+        # read half of the paper's protocol — writers of a conflicting
+        # operation flushed (sync-after-write), we must drop stale pages.
+        coloring: ColoringResult = report.coloring
+        phase = ReadPhasePlan(
+            index=0,
+            steps=self._read_steps(region.buffer_map()),
+            direct=not self.use_cache,
+            invalidate_before=True,
+        )
+        return self._read_plan(
+            region,
+            phases=[phase],
+            my_phase=coloring.color_of(region.rank),
+            colors_used=coloring.num_colors,
+        )
 
 
 @register_strategy
@@ -427,21 +634,16 @@ class TwoPhaseStrategy(PipelineStrategy):
         # count, not with the aggregator count.
         sendbufs: List[List[Tuple[int, bytes]]] = [[] for _ in range(comm.size)]
         shuffled = 0
+        piece_stops = [stop for _, stop, _ in pieces]
         for buf_off, file_off, length in region.buffer_map():
-            seg_stop = file_off + length
-            idx = max(bisect_right(piece_starts, file_off) - 1, 0)
-            while idx < len(pieces):
-                start, stop, agg_rank = pieces[idx]
-                if start >= seg_stop:
-                    break
-                lo = max(file_off, start)
-                hi = min(seg_stop, stop)
-                if lo < hi:
-                    sendbufs[agg_rank].append(
-                        (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
-                    )
-                    shuffled += hi - lo
-                idx += 1
+            for lo, hi, idx in clip_sorted_runs(
+                piece_starts, piece_stops, file_off, file_off + length
+            ):
+                agg_rank = pieces[idx][2]
+                sendbufs[agg_rank].append(
+                    (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
+                )
+                shuffled += hi - lo
         received = comm.alltoallv(sendbufs)
 
         # Merge (aggregators only): later-priority data overwrites earlier.
@@ -474,6 +676,65 @@ class TwoPhaseStrategy(PipelineStrategy):
             },
         )
         return plan, {USER_PAYLOAD: data, AGGREGATE_PAYLOAD: bytes(buffer)}
+
+    def _held_runs(self, rank: int, pieces: Sequence[Tuple[int, int, int]]):
+        """The chunk runs ``rank`` aggregates, as ``(start, stop, buffer_offset)``
+        triples in file order — the layout of its aggregation sink."""
+        held: List[Tuple[int, int, int]] = []
+        buf = 0
+        for start, stop, agg_rank in pieces:
+            if agg_rank == rank:
+                held.append((start, stop, buf))
+                buf += stop - start
+        return held
+
+    def schedule_read(self, comm, region, report):  # noqa: D102 - see base
+        # Phase 1 — read: each aggregator fetches its file-domain chunk once,
+        # directly from the servers (bypassing — and therefore never
+        # invalidating — the client cache; every rank's dirty pages were
+        # flushed before the exchange rendezvous, so the servers are
+        # current).  An overlapped byte costs one server read regardless of
+        # how many consumers cover it.
+        regions = report.regions
+        agg_set, aggregators, _, pieces, _ = self._negotiate(comm.size, regions)
+        steps = [
+            ReadStep(buffer_offset=buf, file_offset=start, length=stop - start,
+                     sink=AGGREGATE_PAYLOAD)
+            for start, stop, buf in self._held_runs(region.rank, pieces)
+        ]
+        return self._read_plan(
+            region,
+            phases=[ReadPhasePlan(index=0, steps=steps, direct=True)],
+            reported_phases=2,
+            my_phase=0 if region.rank in agg_set else 1,
+            extra={"aggregators": float(len(aggregators))},
+        )
+
+    def deliver_read(self, comm, region, report, outcome, sinks):  # noqa: D102 - see base
+        # Phase 2 — scatter: ship every consumer the pieces of its view this
+        # aggregator holds, then assemble the received pieces into the user
+        # stream.  _negotiate is memoised per collective, so re-asking here
+        # costs a dictionary lookup.
+        regions = report.regions
+        _, _, _, pieces, _ = self._negotiate(comm.size, regions)
+        held = self._held_runs(region.rank, pieces)
+        sendbufs = scatter_pieces(
+            held,
+            sinks.get(AGGREGATE_PAYLOAD, bytearray()),
+            [r.coverage for r in regions],
+        )
+        received = comm.alltoallv(sendbufs)
+        outcome.bytes_shuffled = sum(
+            len(data) for dest, bufs in enumerate(sendbufs) if dest != region.rank
+            for _, data in bufs
+        )
+        stream, filled = assemble_stream(
+            [piece for bufs in received for piece in bufs],
+            region.buffer_map(),
+            region.total_bytes,
+        )
+        outcome.extra["scatter_filled_bytes"] = float(filled)
+        return stream
 
 
 def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:

@@ -188,6 +188,18 @@ class ClientFileHandle:
             return self._timed_fetch(offset, nbytes)
         return self.cache.read(offset, nbytes)
 
+    def read_batch(
+        self, reads: Sequence[Tuple[int, int]], direct: bool = False
+    ) -> List[bytes]:
+        """Apply a plan's batched reads: ``(offset, nbytes)`` items, in order.
+
+        The execution entry point of the staged read pipeline
+        (:class:`repro.core.pipeline.ReadRunner`), mirroring
+        :meth:`write_batch`: one call per phase, the phase's cache policy
+        applied uniformly.  Returns one bytes object per request.
+        """
+        return [self.read(offset, nbytes, direct=direct) for offset, nbytes in reads]
+
     def sync(self) -> int:
         """Flush write-behind data to the servers (``fsync`` /
         ``MPI_File_sync`` client half); returns flushed page count."""

@@ -144,6 +144,10 @@ class CentralLockManager:
         self._waiters = _WaiterQueue()
         self._ids = itertools.count(1)
         self._total_waits = 0
+        self._grants_by_mode: Dict[str, int] = {
+            LockMode.SHARED: 0,
+            LockMode.EXCLUSIVE: 0,
+        }
 
     # -- queries -----------------------------------------------------------------
 
@@ -157,6 +161,18 @@ class CentralLockManager:
         """How many acquisitions had to wait for a conflicting lock."""
         with self._cond:
             return self._total_waits
+
+    @property
+    def shared_grant_count(self) -> int:
+        """Shared-mode (reader) locks granted since the last reset."""
+        with self._cond:
+            return self._grants_by_mode[LockMode.SHARED]
+
+    @property
+    def exclusive_grant_count(self) -> int:
+        """Exclusive-mode (writer) locks granted since the last reset."""
+        with self._cond:
+            return self._grants_by_mode[LockMode.EXCLUSIVE]
 
     # -- acquisition / release ------------------------------------------------------
 
@@ -252,6 +268,7 @@ class CentralLockManager:
             granted_at=grant_time,
         )
         self._granted[lock.lock_id] = lock
+        self._grants_by_mode[mode] += 1
         return lock, grant_time
 
 
@@ -287,3 +304,4 @@ class CentralLockManager:
         with self._cond:
             self._history.clear()
             self._total_waits = 0
+            self._grants_by_mode = {LockMode.SHARED: 0, LockMode.EXCLUSIVE: 0}

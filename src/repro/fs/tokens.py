@@ -12,6 +12,14 @@ The important consequence the paper measures is unchanged: **concurrent
 writes to overlapping ranges are still sequential**, token protocol or not.
 The distributed manager only cheapens repeated, non-conflicting lock traffic.
 
+Tokens come in the two lock modes (reader-writer semantics, as in GPFS):
+**read tokens** may be held by any number of clients over the same range and
+are only revoked when a writer needs the range; a **write token** is
+exclusive and conflicts with everyone else's tokens of either mode.  A
+shared-mode lock therefore never revokes another reader's token — the read
+side of a collective stays revocation-free no matter how many clients read
+the same overlapped bytes.
+
 :class:`DistributedLockManager` exposes the same ``acquire``/``release``
 interface as :class:`~repro.fs.lockmanager.CentralLockManager`, so the
 locking atomicity strategy and the FS client are oblivious to which protocol
@@ -62,7 +70,10 @@ class DistributedLockManager:
         self.acquire_latency = acquire_latency
         self.revoke_latency = revoke_latency
         self.local_latency = local_latency
+        #: Exclusive (write) tokens per owner.
         self._tokens: Dict[int, IntervalSet] = {}
+        #: Shared (read) tokens per owner; any number may overlap.
+        self._read_tokens: Dict[int, IntervalSet] = {}
         self._granted: Dict[int, GrantedLock] = {}
         self._history: List[GrantedLock] = []
         self._cond = threading.Condition()
@@ -96,6 +107,11 @@ class DistributedLockManager:
         """Byte ranges for which ``owner`` currently holds the write token."""
         with self._cond:
             return self._tokens.get(owner, IntervalSet.empty())
+
+    def read_token_of(self, owner: int) -> IntervalSet:
+        """Byte ranges for which ``owner`` currently holds a read token."""
+        with self._cond:
+            return self._read_tokens.get(owner, IntervalSet.empty())
 
     def held_locks(self) -> List[GrantedLock]:
         """Snapshot of currently granted (active) locks."""
@@ -154,13 +170,20 @@ class DistributedLockManager:
         now: float,
     ) -> Tuple[GrantedLock, float]:
         """Grant a conflict-free request (``self._cond`` must be held)."""
-        have = self._tokens.get(owner, IntervalSet.empty())
-        if have.covers(wanted):
+        have_write = self._tokens.get(owner, IntervalSet.empty())
+        have_read = self._read_tokens.get(owner, IntervalSet.empty())
+        # A write token also satisfies reads; a read token never satisfies
+        # writes.
+        covered = have_write.covers(wanted) or (
+            mode == LockMode.SHARED and have_read.covers(wanted)
+        )
+        if covered:
             cost = self.local_latency
             self._local_grants += 1
-            revoked = 0
         else:
-            # Revoke the conflicting part of everyone else's token.
+            # Revoke the conflicting part of everyone else's tokens: a read
+            # acquisition conflicts only with write tokens (readers co-hold),
+            # a write acquisition conflicts with tokens of either mode.
             revoked = 0
             for other, token in list(self._tokens.items()):
                 if other == owner:
@@ -168,7 +191,16 @@ class DistributedLockManager:
                 if token.overlaps(wanted):
                     self._tokens[other] = token.subtract(wanted)
                     revoked += 1
-            self._tokens[owner] = have.union(wanted)
+            if mode == LockMode.EXCLUSIVE:
+                for other, token in list(self._read_tokens.items()):
+                    if other == owner:
+                        continue
+                    if token.overlaps(wanted):
+                        self._read_tokens[other] = token.subtract(wanted)
+                        revoked += 1
+                self._tokens[owner] = have_write.union(wanted)
+            else:
+                self._read_tokens[owner] = have_read.union(wanted)
             cost = self.acquire_latency + revoked * self.revoke_latency
             self._token_acquisitions += 1
             self._revocations += revoked
@@ -224,6 +256,7 @@ class DistributedLockManager:
         """Drop all tokens cached by ``owner`` (e.g. when it closes the file)."""
         with self._cond:
             self._tokens.pop(owner, None)
+            self._read_tokens.pop(owner, None)
 
     def reset_history(self) -> None:
         """Forget released-lock history and statistics."""

@@ -18,6 +18,13 @@ the file system's best supported default (locking where available — the
 ROMIO behaviour — otherwise process-rank ordering).  In non-atomic mode the
 segments are written independently, which is exactly the situation in which
 overlapping writes may interleave (Figure 2).
+
+Collective reads are symmetric: ``Read_all`` runs the selected strategy's
+*staged read pipeline* (shared-mode locks, invalidate-then-read, or
+two-phase aggregate-and-scatter — see :mod:`repro.core.pipeline`) and
+returns a :class:`~repro.core.strategies.ReadOutcome`; even the non-atomic
+baseline invalidates cached pages first so a collective read observes
+everything its peers flushed before the call.
 """
 
 from __future__ import annotations
@@ -32,9 +39,11 @@ from ..core.strategies import (
     LockingStrategy,
     NoAtomicityStrategy,
     RankOrderingStrategy,
+    ReadOutcome,
     WriteOutcome,
     strategy_by_name,
 )
+from ..fs.lockmanager import LockMode
 from ..datatypes.datatype import Datatype
 from ..datatypes.pack import pack, unpack
 from ..datatypes.typemap import BasicType
@@ -215,22 +224,30 @@ class MPIFile:
         buffer: Buffer,
         count: Optional[int] = None,
         datatype: Optional[Datatype] = None,
-    ) -> int:
-        """Collective read at the individual file pointer into ``buffer``."""
+    ) -> ReadOutcome:
+        """Collective read at the individual file pointer into ``buffer``.
+
+        The read runs through the staged read pipeline of the configured
+        strategy (the same selection rules as :meth:`Write_all`): shared-mode
+        locks for the locking strategy, invalidate-then-cached-read for the
+        handshaking strategies, aggregate-and-scatter for two-phase.  In
+        non-atomic mode the baseline strategy still drops cached pages first
+        (sync-then-invalidate), so a collective read observes everything its
+        peers flushed before the call — the cache-coherence contract of
+        :mod:`repro.fs.cache`.  No extra barriers are imposed; strategies
+        that need synchronisation encode it in their plans.
+        """
         self._check_readable()
         nbytes = self._data_stream_size(buffer, datatype, count)
         region = self._region_for(nbytes, self._position)
         if self._atomic:
-            # Fresh data: drop cached pages that peers may have overwritten.
-            self._handle.invalidate()
-        self.comm.barrier()
-        stream = bytearray()
-        for _, file_off, length in region.buffer_map():
-            stream.extend(self._handle.read(file_off, length))
-        self._scatter_into(buffer, bytes(stream), datatype, count)
+            strategy = self.effective_strategy()
+        else:
+            strategy = NoAtomicityStrategy()
+        data, outcome = strategy.execute_read(self.comm, self._handle, region)
+        self._scatter_into(buffer, data, datatype, count)
         self._position += nbytes // self._view.etype_size
-        self.comm.barrier()
-        return len(stream)
+        return outcome
 
     read_all = Read_all
 
@@ -272,18 +289,56 @@ class MPIFile:
         buffer: Buffer,
         count: Optional[int] = None,
         datatype: Optional[Datatype] = None,
-    ) -> int:
-        """Independent read at an explicit etype offset within the view."""
+    ) -> ReadOutcome:
+        """Independent read at an explicit etype offset within the view.
+
+        Independent reads cannot coordinate with unknown peers, so in atomic
+        mode they take a *shared-mode* byte-range lock over the extent and
+        read directly (mirroring :meth:`Write_at`'s exclusive lock); on
+        lock-less file systems they fall back to invalidate-then-cached-read,
+        which observes everything peers have flushed.
+        """
         self._check_readable()
         nbytes = self._data_stream_size(buffer, datatype, count)
         region = self._region_for(nbytes, offset_etypes)
-        if self._atomic:
-            self._handle.invalidate()
+        outcome = ReadOutcome(
+            strategy="independent",
+            rank=self.comm.rank,
+            bytes_requested=region.total_bytes,
+            start_time=self._handle.clock.now,
+        )
+        use_lock = (
+            self._atomic
+            and not region.is_empty()
+            and self.fs.config.supports_locking()
+        )
         stream = bytearray()
-        for _, file_off, length in region.buffer_map():
-            stream.extend(self._handle.read(file_off, length))
+        if use_lock:
+            # Direct reads return the servers' bytes: this client's own
+            # write-behind data must be flushed first (read-your-own-writes).
+            self._handle.sync()
+            extent = region.extent()
+            waited0 = self._handle.clock.waited
+            lock = self._handle.lock(extent.start, extent.stop, mode=LockMode.SHARED)
+            outcome.locks_acquired = 1
+            outcome.lock_wait_seconds = self._handle.clock.waited - waited0
+            try:
+                for _, file_off, length in region.buffer_map():
+                    stream.extend(self._handle.read(file_off, length, direct=True))
+            finally:
+                self._handle.unlock(lock)
+        else:
+            if self._atomic:
+                self._handle.invalidate()
+                outcome.invalidations = 1
+            for _, file_off, length in region.buffer_map():
+                stream.extend(self._handle.read(file_off, length))
         self._scatter_into(buffer, bytes(stream), datatype, count)
-        return len(stream)
+        outcome.bytes_read = len(stream)
+        outcome.bytes_returned = len(stream)
+        outcome.segments_read = region.num_segments
+        outcome.end_time = self._handle.clock.now
+        return outcome
 
     read_at = Read_at
 
@@ -296,12 +351,12 @@ class MPIFile:
         return written
 
     def Read(self, buffer: Buffer, count: Optional[int] = None,
-             datatype: Optional[Datatype] = None) -> int:  # noqa: N802
+             datatype: Optional[Datatype] = None) -> ReadOutcome:  # noqa: N802
         """Independent read at the individual file pointer."""
         data_len = self._data_stream_size(buffer, datatype, count)
-        nread = self.Read_at(self._position, buffer, count, datatype)
+        outcome = self.Read_at(self._position, buffer, count, datatype)
         self._position += data_len // self._view.etype_size
-        return nread
+        return outcome
 
     # -- pointer and sync ----------------------------------------------------------------------
 

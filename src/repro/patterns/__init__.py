@@ -15,6 +15,7 @@ from .workloads import (
     PAPER_ARRAY_SIZES,
     PAPER_OVERLAP_COLUMNS,
     PAPER_PROCESS_COUNTS,
+    CheckpointRestartWorkload,
     ColumnWiseWorkload,
     rank_fill_bytes,
     rank_pattern_bytes,
@@ -31,6 +32,7 @@ __all__ = [
     "spec_to_segments",
     "GhostDecomposition",
     "ColumnWiseWorkload",
+    "CheckpointRestartWorkload",
     "PAPER_ARRAY_SIZES",
     "PAPER_PROCESS_COUNTS",
     "PAPER_OVERLAP_COLUMNS",

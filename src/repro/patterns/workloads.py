@@ -21,6 +21,7 @@ __all__ = [
     "PAPER_PROCESS_COUNTS",
     "PAPER_OVERLAP_COLUMNS",
     "ColumnWiseWorkload",
+    "CheckpointRestartWorkload",
     "rank_fill_bytes",
     "rank_pattern_bytes",
 ]
@@ -85,6 +86,80 @@ class ColumnWiseWorkload:
         """Build one of the paper's three workloads by its size label."""
         M, N = PAPER_ARRAY_SIZES[label]
         return cls(label=label, M=M, N=N, P=P, R=R, row_scale=row_scale)
+
+
+@dataclass(frozen=True)
+class CheckpointRestartWorkload:
+    """A checkpoint-then-restart workload (the read-heavy scenario).
+
+    ``writers`` processes checkpoint a partitioned 2-D array (a concurrent
+    overlapping atomic write, ghost columns included), then a restart job of
+    ``readers`` processes — typically a *different* process count, which is
+    exactly why the restart cannot assume its views match the checkpoint's —
+    collectively reads its own overlapping partitioning of the same file.
+    ``row_scale`` works as in :class:`ColumnWiseWorkload`.
+    """
+
+    label: str
+    M: int
+    N: int
+    writers: int
+    readers: int
+    R: int = PAPER_OVERLAP_COLUMNS
+    row_scale: int = 1
+    pattern: str = "column-wise"
+
+    def __post_init__(self) -> None:
+        if self.writers <= 0 or self.readers <= 0:
+            raise ValueError("writers and readers must be positive")
+        if self.row_scale <= 0:
+            raise ValueError("row_scale must be positive")
+        if self.M % self.row_scale != 0:
+            raise ValueError("row_scale must divide M")
+
+    @property
+    def effective_M(self) -> int:
+        """Row count after scaling."""
+        return self.M // self.row_scale
+
+    @property
+    def file_bytes(self) -> int:
+        """Size of the shared checkpoint file (after scaling)."""
+        return self.effective_M * self.N
+
+    def write_views(self) -> List[List[Tuple[int, int]]]:
+        """Per-writer flattened file views of the checkpoint phase."""
+        from .partition import views_for_pattern
+
+        return views_for_pattern(self.pattern, self.effective_M, self.N,
+                                 self.writers, self.R)
+
+    def read_views(self) -> List[List[Tuple[int, int]]]:
+        """Per-reader flattened file views of the restart phase."""
+        from .partition import views_for_pattern
+
+        return views_for_pattern(self.pattern, self.effective_M, self.N,
+                                 self.readers, self.R)
+
+    def writer_stream(self, rank: int) -> bytes:
+        """Rank-identifying checkpoint data for ``rank`` (pattern fill, so
+        content-based verification works alongside provenance)."""
+        nbytes = sum(length for _, length in self.write_views()[rank])
+        return rank_pattern_bytes(rank, nbytes)
+
+    @classmethod
+    def from_label(
+        cls,
+        label: str,
+        writers: int,
+        readers: int,
+        R: int = PAPER_OVERLAP_COLUMNS,
+        row_scale: int = 1,
+    ) -> "CheckpointRestartWorkload":
+        """Build one of the paper's three array sizes as a restart workload."""
+        M, N = PAPER_ARRAY_SIZES[label]
+        return cls(label=label, M=M, N=N, writers=writers, readers=readers,
+                   R=R, row_scale=row_scale)
 
 
 def rank_fill_bytes(rank: int, nbytes: int) -> bytes:

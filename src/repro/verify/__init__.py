@@ -2,16 +2,20 @@
 
 from .atomicity import (
     AtomicityReport,
+    ReadObservation,
     Violation,
     check_coverage,
     check_mpi_atomicity,
     check_posix_call_atomicity,
+    check_read_atomicity,
 )
 
 __all__ = [
     "AtomicityReport",
+    "ReadObservation",
     "Violation",
     "check_mpi_atomicity",
     "check_posix_call_atomicity",
     "check_coverage",
+    "check_read_atomicity",
 ]

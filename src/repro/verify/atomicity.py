@@ -20,25 +20,37 @@ atomic-mode guarantee held, thanks to the per-byte writer provenance kept by
 * **Coverage**: every byte some process intended to write was written, and
   was written by one of the processes whose view covers it
   (:func:`check_coverage`).
+
+* **Read atomicity**: every collective read must observe, within each
+  elementary overlap segment, a value that some *single* committed write
+  produced — never a mixture of two writers' data, and never a mixture of a
+  writer's data and the pre-write state (:func:`check_read_atomicity`).  A
+  violation is a *torn read*: the reader saw a file state that no sequential
+  ordering of the write calls could have produced.  Readers record what they
+  observed as :class:`ReadObservation` records (the data stream a collective
+  read returned, plus the view it was read through).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.intervals import Interval, IntervalSet
+from ..core.intervals import Interval, IntervalSet, clip_sorted_runs
 from ..core.regions import FileRegionSet
 from ..fs.storage import NO_WRITER, ByteStore
 
 __all__ = [
     "Violation",
     "AtomicityReport",
+    "ReadObservation",
     "check_mpi_atomicity",
     "check_posix_call_atomicity",
     "check_coverage",
+    "check_read_atomicity",
 ]
 
 
@@ -249,6 +261,149 @@ def check_posix_call_atomicity(
                     ),
                 )
             )
+    return report
+
+
+@dataclass(frozen=True)
+class ReadObservation:
+    """What one rank's collective read returned.
+
+    ``data`` is the contiguous data stream the read delivered, in the view's
+    data-stream order (``region.total_bytes`` bytes).
+    """
+
+    rank: int
+    region: FileRegionSet
+    data: bytes
+
+
+class _StreamImage:
+    """Random access into a (region, stream) pair by *file* offset.
+
+    Both a writer's request and a reader's observation are a flattened view
+    plus a contiguous data stream; this index answers "which bytes does this
+    stream hold for file range [start, stop)?" in O(log S + pieces touched).
+    """
+
+    def __init__(self, region: FileRegionSet, data: bytes) -> None:
+        self.pieces = sorted(
+            (file_off, buf_off, length)
+            for buf_off, file_off, length in region.buffer_map()
+        )
+        self.starts = [p[0] for p in self.pieces]
+        self.stops = [off + length for off, _, length in self.pieces]
+        self.data = data
+
+    def bytes_for(self, start: int, stop: int) -> Optional[bytes]:
+        """The stream's bytes for file range ``[start, stop)``; ``None``
+        unless the view covers the range completely."""
+        out = bytearray(stop - start)
+        filled = 0
+        for lo, hi, idx in clip_sorted_runs(self.starts, self.stops, start, stop):
+            off, buf, _ = self.pieces[idx]
+            out[lo - start : hi - start] = self.data[buf + lo - off : buf + hi - off]
+            filled += hi - lo
+        return bytes(out) if filled == stop - start else None
+
+
+def check_read_atomicity(
+    observations: Sequence[ReadObservation],
+    write_regions: Sequence[FileRegionSet],
+    writer_data: Sequence[bytes],
+    baseline: Optional[bytes] = None,
+) -> AtomicityReport:
+    """Verify that no collective read was *torn* by concurrent writes.
+
+    MPI atomic mode requires every read to be serialisable against the
+    concurrent write requests: within each elementary file segment with a
+    constant set of covering writers, the bytes a reader observed must be
+    exactly what a *single* committed state provides — one covering writer's
+    data for that segment, or the pre-write ``baseline`` (zeros for a fresh
+    file).  A mixture of two writers — or of a writer and the baseline —
+    within one segment means the reader saw a state no sequential ordering
+    of the write calls could produce (a torn read); an observation outside
+    every writer's view that differs from the baseline means the reader was
+    served stale or corrupt data (e.g. by an unflushed peer cache).
+
+    Parameters
+    ----------
+    observations:
+        One record per collective read performed.
+    write_regions:
+        The concurrent writers' (untrimmed) file views.
+    writer_data:
+        ``writer_data[i]`` is the contiguous stream ``write_regions[i]``
+        wrote, in view order.
+    baseline:
+        Snapshot of the file before the writes (defaults to all-zero bytes,
+        the state of a freshly created file).
+    """
+    report = AtomicityReport(ok=True)
+    writers = {
+        region.rank: _StreamImage(region, data)
+        for region, data in zip(write_regions, writer_data)
+    }
+    segments = _elementary_segments(write_regions)
+    seg_starts = [iv.start for iv, _ in segments]
+
+    def baseline_for(start: int, stop: int) -> bytes:
+        if baseline is None:
+            return bytes(stop - start)
+        chunk = baseline[start:stop]
+        return chunk + bytes(stop - start - len(chunk))
+
+    for obs in observations:
+        image = _StreamImage(obs.region, obs.data)
+        for piece in obs.region.coverage:
+            # Split the observed range at every boundary where the covering
+            # writer set changes; check each sub-range independently.
+            cuts: List[Tuple[Interval, Tuple[int, ...]]] = []
+            idx = max(bisect_right(seg_starts, piece.start) - 1, 0) if segments else 0
+            pos = piece.start
+            while idx < len(segments):
+                seg, covering = segments[idx]
+                if seg.start >= piece.stop:
+                    break
+                lo = max(piece.start, seg.start)
+                hi = min(piece.stop, seg.stop)
+                if lo < hi:
+                    if pos < lo:
+                        cuts.append((Interval(pos, lo), ()))
+                    cuts.append((Interval(lo, hi), covering))
+                    pos = hi
+                idx += 1
+            if pos < piece.stop:
+                cuts.append((Interval(pos, piece.stop), ()))
+            for interval, covering in cuts:
+                observed = image.bytes_for(interval.start, interval.stop)
+                if observed is None:  # pragma: no cover - coverage is exact
+                    continue
+                report.overlap_regions_checked += 1
+                if len(covering) >= 2:
+                    report.overlapped_bytes += interval.length
+                candidates = [baseline_for(interval.start, interval.stop)]
+                for w in covering:
+                    expected = writers[w].bytes_for(interval.start, interval.stop)
+                    if expected is not None:
+                        candidates.append(expected)
+                if any(observed == c for c in candidates):
+                    continue
+                report.ok = False
+                kind = "torn-read" if covering else "stale-read"
+                who = (
+                    f"writers {list(covering)}" if covering else "no covering writer"
+                )
+                report.violations.append(
+                    Violation(
+                        kind=kind,
+                        interval=interval,
+                        detail=(
+                            f"rank {obs.rank} read [{interval.start},{interval.stop}) "
+                            f"({who}) and observed bytes matching no single "
+                            f"committed write"
+                        ),
+                    )
+                )
     return report
 
 

@@ -1,0 +1,62 @@
+"""Tests for the documentation consistency checker (`repro.bench.doccheck`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.doccheck import check_document, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCheckDocument:
+    def test_real_docs_are_consistent(self):
+        for doc in ("README.md", "EXPERIMENTS.md", "ARCHITECTURE.md"):
+            assert check_document(REPO_ROOT / doc, root=REPO_ROOT) == [], doc
+
+    def test_missing_path_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("See `no/such/file.py` for details.\n", encoding="utf-8")
+        problems = check_document(doc, root=REPO_ROOT)
+        assert len(problems) == 1
+        assert "no/such/file.py" in problems[0][1]
+
+    def test_missing_module_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("Run `python -m repro.bench.nonexistent` now.\n", encoding="utf-8")
+        problems = check_document(doc, root=REPO_ROOT)
+        assert any("not importable" in p for _, p in problems)
+
+    def test_existing_module_and_script_pass(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "Run `PYTHONPATH=src python -m repro.bench.smoke` and\n"
+            "`python examples/quickstart.py` and read `src/repro/io/file.py`.\n",
+            encoding="utf-8",
+        )
+        assert check_document(doc, root=REPO_ROOT) == []
+
+    def test_placeholders_and_prose_ignored(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "Use `<your-file>.py` or `*.py` or `{name}.md`; plain `code` too.\n",
+            encoding="utf-8",
+        )
+        assert check_document(doc, root=REPO_ROOT) == []
+
+    def test_missing_document_reported(self, tmp_path):
+        problems = check_document(tmp_path / "absent.md", root=REPO_ROOT)
+        assert problems and "does not exist" in problems[0][1]
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, monkeypatch, capsys):
+        good = tmp_path / "good.md"
+        good.write_text("nothing to check\n", encoding="utf-8")
+        bad = tmp_path / "bad.md"
+        bad.write_text("`missing/thing.py`\n", encoding="utf-8")
+        monkeypatch.chdir(REPO_ROOT)
+        assert main([str(good)]) == 0
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "missing/thing.py" in out

@@ -208,6 +208,171 @@ class TestFigure4CallSequence:
         assert all(r == (False, True) for r in result.returns)
 
 
+class TestReadAllPipeline:
+    """Collective reads run through the staged read pipeline."""
+
+    def test_non_atomic_read_all_observes_peer_flushes(self, fast_fs):
+        """Regression: a collective read must invalidate cached pages, or a
+        rank keeps serving a page it cached before peers flushed overlapping
+        writes (sync-then-invalidate, the `fs.cache` coherence contract)."""
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "coh.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"1" * 64)
+            f.Sync()
+            buf = bytearray(64)
+            f.Read_all(buf)  # every rank now holds the page in cache
+            first = bytes(buf)
+            if comm.rank == 0:
+                f.Write_at(0, b"2" * 64)
+            f.Sync()
+            f.Seek(0)
+            buf2 = bytearray(64)
+            f.Read_all(buf2)  # must observe rank 0's second, flushed write
+            f.Close()
+            return first, bytes(buf2)
+
+        result = run_spmd(fn, 2)
+        for first, second in result.returns:
+            assert first == b"1" * 64
+            assert second == b"2" * 64
+
+    def test_read_all_returns_read_outcome(self, fast_fs):
+        from repro.core.strategies import ReadOutcome
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "ro_out.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"x" * 32)
+            f.Sync()
+            f.Set_view(0, CHAR, contiguous(16, CHAR))
+            buf = bytearray(16)
+            outcome = f.Read_all(buf)
+            f.Close()
+            return outcome
+
+        result = run_spmd(fn, 2)
+        for outcome in result.returns:
+            assert isinstance(outcome, ReadOutcome)
+            assert outcome.strategy == "none"  # non-atomic baseline
+            assert outcome.bytes_requested == 16
+            assert outcome.bytes_returned == 16
+            assert outcome.invalidations == 1  # the coherence invalidate
+
+    def test_atomic_read_all_uses_shared_locks(self, fast_fs):
+        """Atomic collective reads on a locking FS take shared-mode extent
+        locks: concurrent readers coexist (no lock waits)."""
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "shr.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"y" * 64)
+            f.Sync()
+            f.Set_atomicity(True)
+            f.Set_view(0, CHAR, contiguous(64, CHAR))  # all ranks: same range
+            buf = bytearray(64)
+            outcome = f.Read_all(buf)
+            f.Close()
+            return outcome, bytes(buf)
+
+        result = run_spmd(fn, 3)
+        lm = fast_fs.lookup("shr.dat").lock_manager
+        assert lm.shared_grant_count == 3
+        assert lm.wait_count == 0
+        for outcome, data in result.returns:
+            assert outcome.strategy == "locking"
+            assert outcome.locks_acquired == 1
+            assert data == b"y" * 64
+
+    def test_atomic_read_all_two_phase_hint(self, fast_fs):
+        info = Info({"atomicity_strategy": "two-phase"})
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "tp.dat", fast_fs, info=info)
+            if comm.rank == 0:
+                f.Write_at(0, bytes(range(64)))
+            f.Sync()
+            f.Set_atomicity(True)
+            f.Set_view(0, CHAR, contiguous(64, CHAR))
+            buf = bytearray(64)
+            outcome = f.Read_all(buf)
+            f.Close()
+            return outcome, bytes(buf)
+
+        result = run_spmd(fn, 4)
+        total_read = sum(o.bytes_read for o, _ in result.returns)
+        assert total_read == 64  # each overlapped byte fetched exactly once
+        for outcome, data in result.returns:
+            assert outcome.strategy == "two-phase"
+            assert outcome.phases == 2
+            assert data == bytes(range(64))
+
+    @pytest.mark.parametrize("strategy", ["locking", "two-phase"])
+    def test_atomic_read_all_sees_own_unsynced_writes(self, fast_fs, strategy):
+        """Regression: direct-read schedules (shared-lock, two-phase) must
+        flush the reader's own write-behind pages first, or the rank reads
+        the servers' stale bytes for data it itself just wrote."""
+
+        def fn(comm):
+            f = MPIFile.Open(comm, f"ryow_{strategy}.dat", fast_fs)
+            f.Write_at(0, b"A" * 32)
+            f.Sync()
+            if comm.rank == 0:
+                # Write-behind, intentionally NOT synced before the read.
+                f.Write_at(0, b"B" * 32)
+            f.Set_atomicity(True)
+            f.set_strategy(strategy)
+            f.Set_view(0, CHAR, contiguous(32, CHAR))
+            buf = bytearray(32)
+            f.Read_all(buf)
+            f.Close()
+            return bytes(buf)
+
+        result = run_spmd(fn, 2)
+        assert result.returns[0] == b"B" * 32, "rank 0 must read its own write"
+
+    def test_atomic_read_at_sees_own_unsynced_writes(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "ryow_at.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"A" * 32)
+            f.Sync()
+            if comm.rank == 0:
+                f.Write_at(0, b"B" * 32)  # write-behind, not synced
+            f.Set_atomicity(True)  # collective
+            out = None
+            if comm.rank == 0:
+                buf = bytearray(32)
+                f.Read_at(0, buf)
+                out = bytes(buf)
+            f.Close()
+            return out
+
+        result = run_spmd(fn, 2)
+        assert result.returns[0] == b"B" * 32
+
+    def test_atomic_read_at_takes_shared_lock(self, fast_fs):
+        def fn(comm):
+            f = MPIFile.Open(comm, "rat.dat", fast_fs)
+            if comm.rank == 0:
+                f.Write_at(0, b"z" * 16)
+            f.Sync()
+            f.Set_atomicity(True)
+            buf = bytearray(16)
+            outcome = f.Read_at(0, buf)
+            f.Close()
+            return outcome, bytes(buf)
+
+        result = run_spmd(fn, 2)
+        lm = fast_fs.lookup("rat.dat").lock_manager
+        assert lm.shared_grant_count == 2
+        for outcome, data in result.returns:
+            assert outcome.strategy == "independent"
+            assert outcome.locks_acquired == 1
+            assert data == b"z" * 16
+
+
 class TestAtomicIndependentWrites:
     def test_independent_atomic_write_uses_lock(self, fast_fs):
         def fn(comm):
