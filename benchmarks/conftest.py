@@ -4,13 +4,21 @@ Every benchmark regenerates one table or figure of the paper and prints the
 corresponding rows/series, so running ``pytest benchmarks/ --benchmark-only -s``
 produces a textual version of the whole evaluation section.  The printed
 blocks are also appended to ``benchmarks/results/latest.txt`` for inspection
-after a captured (non ``-s``) run.
+after a captured (non ``-s``) run, and key experiments are mirrored as JSON
+(``benchmarks/results/latest.json``, :mod:`repro.bench.jsonlog`) so the
+perf trajectory is machine-checkable across PRs.
+
+Both files are *generated*: the results directory is gitignored apart from
+its checked-in ``SUMMARY.md`` inventory (validated by
+``repro.bench.doccheck``); CI uploads the generated files as artifacts.
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+
+from repro.bench.jsonlog import entries_from_records, record_results
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -35,3 +43,20 @@ def report(title: str, body: str) -> None:
     else:
         text += block
     path.write_text(text, encoding="utf-8")
+
+
+def report_json(experiment: str, records) -> None:
+    """Mirror a collection of experiment records into ``latest.json``.
+
+    ``records`` is any iterable of
+    :class:`~repro.bench.results.ExperimentRecord` (a ``ResultTable``
+    included); re-recording an experiment replaces its entries in place.
+    Honours the ``REPRO_RESULTS_DIR`` override the JSON log documents (so
+    the benchmarks and the perf gate write one document), defaulting to
+    this directory's ``results/``.
+    """
+    if "REPRO_RESULTS_DIR" in os.environ:
+        path = None  # jsonlog.results_dir() resolves the override
+    else:
+        path = RESULTS_DIR / "latest.json"
+    record_results(experiment, entries_from_records(records), path=path)

@@ -23,7 +23,7 @@ from repro.bench.harness import DEFAULT_ROW_SCALE, run_figure8_grid
 from repro.bench.machines import machine_by_name
 from repro.bench.results import figure8_series
 
-from conftest import report
+from conftest import report, report_json
 
 ARRAY_LABELS = ["32MB", "128MB", "1GB"]
 PROCESS_COUNTS = [4, 8, 16]
@@ -72,3 +72,4 @@ def test_figure8_bandwidth(benchmark, machine_name):
         f"(rows scaled by 1/{DEFAULT_ROW_SCALE})",
         figure8_report(table),
     )
+    report_json(f"figure8-{machine.file_system.lower()}", table)

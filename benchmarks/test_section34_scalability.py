@@ -21,7 +21,7 @@ from repro.core.registry import default_registry
 from repro.core.regions import build_region_sets
 from repro.patterns.partition import column_wise_views
 
-from conftest import report
+from conftest import report, report_json
 
 M, N, P, R = 64, 32768, 8, 4
 
@@ -151,3 +151,4 @@ def test_section34_rank_sweep(benchmark):
         f"P in {list(SWEEP_PROCESS_COUNTS)})",
         format_table(rows),
     )
+    report_json("section34-rank-sweep", [rec for rec, _ in measured.values()])

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from repro import (
     CheckpointRestartWorkload,
+    Info,
     MPIFile,
     ParallelFileSystem,
     ReadObservation,
@@ -59,9 +60,14 @@ def checkpoint(fs: ParallelFileSystem) -> None:
     """Phase 1: the writers checkpoint the array atomically (two-phase)."""
 
     def writer(comm):
-        f = MPIFile.Open(comm, FILENAME, fs, amode=MODE_RDWR | MODE_CREATE)
+        f = MPIFile.Open(
+            comm,
+            FILENAME,
+            fs,
+            amode=MODE_RDWR | MODE_CREATE,
+            info=Info({"atomicity_strategy": "two-phase"}),
+        )
         f.Set_atomicity(True)
-        f.set_strategy("two-phase")
         spec = _column_view(f, comm.rank, WORK.writers)
         outcome = f.Write_all(WORK.writer_stream(comm.rank), count=spec.total_bytes)
         f.Close()
@@ -79,9 +85,14 @@ def restart(fs: ParallelFileSystem, strategy_name: str):
     """Phase 2: a restart job of a different size reads the checkpoint."""
 
     def reader(comm):
-        f = MPIFile.Open(comm, FILENAME, fs, amode=MODE_RDONLY)
+        f = MPIFile.Open(
+            comm,
+            FILENAME,
+            fs,
+            amode=MODE_RDONLY,
+            info=Info({"atomicity_strategy": strategy_name}),
+        )
         f.Set_atomicity(True)
-        f.set_strategy(strategy_name)
         spec = _column_view(f, comm.rank, WORK.readers)
         buf = bytearray(spec.total_bytes)
         outcome = f.Read_all(buf, count=spec.total_bytes)

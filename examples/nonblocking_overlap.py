@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Nonblocking collective I/O: hiding the commit phase behind computation.
+
+Sixteen simulated MPI processes run a checkpoint loop — write the whole
+column-wise partitioned array atomically (two-phase aggregation), then
+compute — three ways:
+
+* **blocking**: ``Write_all`` then compute; each step pays
+  ``exchange + commit + compute``;
+* **split-collective**: ``Write_all_begin`` pins the exchange/shuffle on
+  the caller, the commit runs on a detached progress task while the rank
+  computes, and ``Write_all_end`` joins — each step pays
+  ``exchange + max(commit, compute)``;
+* **nonblocking**: ``Iwrite_all`` detaches the whole pipeline and the
+  returned request is waited after the compute.
+
+The virtual-time makespans make the overlap directly visible, and the
+per-byte provenance proves every variant kept MPI atomicity.
+
+Run with:  python examples/nonblocking_overlap.py
+"""
+
+from __future__ import annotations
+
+from repro import Info, MPIFile, ParallelFileSystem, check_mpi_atomicity, gpfs_config, run_spmd
+from repro.core.regions import build_region_sets
+from repro.datatypes import CHAR, subarray
+from repro.patterns import column_wise_spec, column_wise_views
+from repro.patterns.workloads import rank_pattern_bytes
+
+M, N, P, R = 64, 4096, 16, 8
+STEPS = 3
+COMPUTE_SECONDS = 0.004
+MB = 1024 * 1024
+
+
+def checkpoint_loop(api: str) -> float:
+    fs = ParallelFileSystem(gpfs_config())
+
+    def rank_main(comm):
+        spec = column_wise_spec(M, N, comm.size, comm.rank, R)
+        filetype = subarray(
+            list(spec.sizes), list(spec.subsizes), list(spec.starts), CHAR
+        ).commit()
+        f = MPIFile.Open(
+            comm, "ckpt.dat", fs, info=Info({"atomicity_strategy": "two-phase"})
+        )
+        f.Set_atomicity(True)
+        f.Set_view(0, CHAR, filetype)
+        payload = rank_pattern_bytes(comm.rank, spec.total_bytes)
+        for _ in range(STEPS):
+            f.Seek(0)
+            if api == "blocking":
+                f.Write_all(payload)
+                comm.clock.advance(COMPUTE_SECONDS)
+            elif api == "split":
+                f.Write_all_begin(payload)
+                comm.clock.advance(COMPUTE_SECONDS)  # overlapped with the commit
+                f.Write_all_end()
+            else:  # nonblocking
+                request = f.Iwrite_all(payload)
+                comm.clock.advance(COMPUTE_SECONDS)  # overlapped with everything
+                request.Wait()
+        f.Close()
+
+    result = run_spmd(rank_main, P)
+    atomic = check_mpi_atomicity(
+        fs.lookup("ckpt.dat").store, build_region_sets(column_wise_views(M, N, P, R))
+    )
+    assert atomic.ok, f"{api} violated MPI atomicity"
+    return result.makespan
+
+
+def main() -> None:
+    print(
+        f"Workload: {M}x{N} array ({M * N / MB:.2f} MB), {P} processes, "
+        f"{STEPS} checkpoint steps, {COMPUTE_SECONDS * 1000:.0f} ms compute/step\n"
+    )
+    makespans = {api: checkpoint_loop(api) for api in ("blocking", "split", "nonblocking")}
+    base = makespans["blocking"]
+    print(f"{'API':14s} {'makespan (s)':>13s} {'vs blocking':>12s}")
+    for api, makespan in makespans.items():
+        print(f"{api:14s} {makespan:>13.4f} {makespan / base - 1.0:>+11.1%}")
+    hidden = base - makespans["split"]
+    print(
+        f"\nThe split-collective run hid {hidden * 1000:.1f} ms of compute under "
+        "the commit phase (bounded by steps x min(commit, compute)); "
+        "atomicity verified for every variant."
+    )
+
+
+if __name__ == "__main__":
+    main()

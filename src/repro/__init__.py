@@ -60,7 +60,17 @@ from .fs import (
     preset,
     xfs_config,
 )
-from .io import MPIFile, Info, MODE_CREATE, MODE_RDWR, MODE_WRONLY
+from .io import (
+    Info,
+    IORequest,
+    MODE_CREATE,
+    MODE_RDWR,
+    MODE_WRONLY,
+    MPIFile,
+    Testall,
+    Waitall,
+    Waitany,
+)
 from .mpi import Communicator, run_spmd
 from .patterns import (
     CheckpointRestartWorkload,
@@ -127,6 +137,10 @@ __all__ = [
     # io
     "MPIFile",
     "Info",
+    "IORequest",
+    "Waitall",
+    "Testall",
+    "Waitany",
     "MODE_CREATE",
     "MODE_RDWR",
     "MODE_WRONLY",

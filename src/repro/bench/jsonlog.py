@@ -1,0 +1,105 @@
+"""Machine-readable benchmark results (``benchmarks/results/latest.json``).
+
+The text report (``benchmarks/results/latest.txt``) is for humans; this
+module keeps the same results as JSON so the performance trajectory is
+trackable across PRs and checkable by tooling (the CI perf-regression gate,
+:mod:`repro.bench.perfgate`).  Both files are *generated artifacts*: they
+live in a gitignored location and are uploaded from CI, never committed.
+
+Schema (version 1)::
+
+    {
+      "schema": 1,
+      "experiments": {
+        "<experiment name>": [
+          {"P": <ranks>, "strategy": "<name>", "makespan": <seconds>, "bytes": <requested>},
+          ...
+        ]
+      }
+    }
+
+``makespan`` is virtual time (deterministic run to run), ``bytes`` the
+requested I/O volume of the measured operation.  Like the text report,
+re-recording an experiment replaces its previous entries in place, so the
+file holds exactly one copy of every experiment regardless of how often or
+how partially the benchmarks are re-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "results_dir",
+    "record_results",
+    "entries_from_records",
+    "load_results",
+]
+
+SCHEMA_VERSION = 1
+
+#: Default location, relative to the repository root (the working directory
+#: pytest and the CI steps run from).
+DEFAULT_RESULTS_DIR = Path("benchmarks") / "results"
+
+
+def results_dir() -> Path:
+    """Where generated results go (override with ``REPRO_RESULTS_DIR``)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    return Path(env) if env else DEFAULT_RESULTS_DIR
+
+
+def _coerce(entry: Dict) -> Dict:
+    return {
+        "P": int(entry["P"]),
+        "strategy": str(entry["strategy"]),
+        "makespan": float(entry["makespan"]),
+        "bytes": int(entry["bytes"]),
+    }
+
+
+def entries_from_records(records: Iterable) -> List[Dict]:
+    """Flatten :class:`~repro.bench.results.ExperimentRecord` rows to entries."""
+    return [
+        {
+            "P": record.nprocs,
+            "strategy": record.strategy,
+            "makespan": record.makespan_seconds,
+            "bytes": record.bytes_requested,
+        }
+        for record in records
+    ]
+
+
+def load_results(path: Optional[Path] = None) -> Dict:
+    """Load a results document (an empty schema-1 skeleton when absent)."""
+    path = path or results_dir() / "latest.json"
+    doc: Dict = {"schema": SCHEMA_VERSION, "experiments": {}}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text(encoding="utf-8"))
+        except ValueError:
+            return doc
+        if isinstance(loaded, dict):
+            doc.update(loaded)
+            doc.setdefault("experiments", {})
+    return doc
+
+
+def record_results(
+    experiment: str, entries: Iterable[Dict], path: Optional[Path] = None
+) -> Path:
+    """Merge one experiment's entries into ``latest.json``; returns the path."""
+    path = path or results_dir() / "latest.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = load_results(path)
+    doc["schema"] = SCHEMA_VERSION
+    doc["experiments"][experiment] = [_coerce(e) for e in entries]
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path

@@ -1,0 +1,144 @@
+"""CI perf-regression gate: virtual-time makespans vs a checked-in baseline.
+
+Because execution is a deterministic discrete-event simulation, the virtual
+makespan of a fixed workload is a *pure function of the code* — any drift is
+a real change in the modelled I/O pipeline, not noise.  This gate runs a
+small deterministic two-phase workload set, mirrors the measurements into
+``benchmarks/results/latest.json`` (:mod:`repro.bench.jsonlog`), and fails
+the build when any measured makespan regresses more than the tolerance
+(default 15%) over the baseline committed at ``benchmarks/perf_baseline.json``.
+
+Intentional performance changes update the baseline explicitly::
+
+    PYTHONPATH=src python -m repro.bench.perfgate --update-baseline
+
+Run the gate (CI does this on every build)::
+
+    PYTHONPATH=src python -m repro.bench.perfgate
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .harness import run_column_wise_experiment
+from .jsonlog import SCHEMA_VERSION, entries_from_records, record_results
+from .overlap import run_overlap_experiment
+
+__all__ = ["BASELINE_PATH", "DEFAULT_TOLERANCE", "measure", "compare", "main"]
+
+BASELINE_PATH = Path("benchmarks") / "perf_baseline.json"
+
+#: Allowed relative makespan growth before the gate fails.
+DEFAULT_TOLERANCE = 0.15
+
+#: The gated workloads: quick, deterministic, all exercising the two-phase
+#: strategy (the performance centrepiece the roadmap tracks).
+_WRITE_POINTS = (4, 16)
+_WRITE_SHAPE = (64, 512)  # M x N bytes, column-wise
+_OVERLAP_POINT = (16, 16, 256)  # P, M, N
+
+
+def measure() -> Dict[str, List[Dict]]:
+    """Run the gated workloads; returns ``experiment -> entries``."""
+    write_records = [
+        run_column_wise_experiment(
+            "Origin 2000", _WRITE_SHAPE[0], _WRITE_SHAPE[1], nprocs, "two-phase"
+        )
+        for nprocs in _WRITE_POINTS
+    ]
+    P, M, N = _OVERLAP_POINT
+    overlap_record = run_overlap_experiment("IBM SP", M, N, P, api="split")
+    return {
+        "perfgate/two-phase-write": entries_from_records(write_records),
+        "perfgate/overlap-split": entries_from_records([overlap_record]),
+    }
+
+
+def _index(entries: Sequence[Dict]) -> Dict:
+    return {(e["P"], e["strategy"]): e for e in entries}
+
+
+def compare(
+    measured: Dict[str, List[Dict]],
+    baseline: Dict,
+    tolerance: Optional[float] = None,
+) -> List[str]:
+    """Problems (empty when the gate passes) of measured vs baseline."""
+    tol = tolerance if tolerance is not None else baseline.get("tolerance", DEFAULT_TOLERANCE)
+    problems: List[str] = []
+    base_experiments = baseline.get("experiments", {})
+    for experiment, entries in measured.items():
+        base = _index(base_experiments.get(experiment, []))
+        for entry in entries:
+            key = (entry["P"], entry["strategy"])
+            ref = base.get(key)
+            if ref is None:
+                problems.append(
+                    f"{experiment}: no baseline for P={key[0]} strategy={key[1]} "
+                    "(run `python -m repro.bench.perfgate --update-baseline`)"
+                )
+                continue
+            limit = ref["makespan"] * (1.0 + tol)
+            if entry["makespan"] > limit:
+                problems.append(
+                    f"{experiment}: P={key[0]} {key[1]} makespan "
+                    f"{entry['makespan']:.6f}s exceeds baseline "
+                    f"{ref['makespan']:.6f}s by more than {tol:.0%}"
+                )
+            elif entry["makespan"] < ref["makespan"] * (1.0 - tol):
+                print(
+                    f"note: {experiment}: P={key[0]} {key[1]} improved "
+                    f"{ref['makespan']:.6f}s -> {entry['makespan']:.6f}s; "
+                    "consider refreshing the baseline"
+                )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exits non-zero on a perf regression."""
+    args = list(argv) if argv is not None else sys.argv[1:]
+    update = "--update-baseline" in args
+    measured = measure()
+    for experiment, entries in measured.items():
+        record_results(experiment, entries)
+        for entry in entries:
+            print(
+                f"{experiment}: P={entry['P']} {entry['strategy']} "
+                f"makespan {entry['makespan']:.6f}s ({entry['bytes']} bytes)"
+            )
+    if update:
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "tolerance": DEFAULT_TOLERANCE,
+                    "experiments": measured,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+    if not BASELINE_PATH.exists():
+        print(f"FAIL: no baseline at {BASELINE_PATH}; run with --update-baseline")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    problems = compare(measured, baseline)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -120,6 +120,7 @@ class Task:
         "error",
         "traceback_text",
         "deadlocked",
+        "detached",
         "_thread",
         "_resume",
         "_wake_value",
@@ -129,12 +130,13 @@ class Task:
     )
 
     def __init__(self, engine: "Engine", tid: int, fn: Callable[[], Any],
-                 name: str, clock: VirtualClock) -> None:
+                 name: str, clock: VirtualClock, detached: bool = False) -> None:
         self.engine = engine
         self.tid = tid
         self.name = name
         self.fn = fn
         self.clock = clock
+        self.detached = detached
         self.state = Task.NEW
         self.wait_reason = ""
         self.result: Any = None
@@ -204,14 +206,22 @@ class Engine:
     # -- task creation ----------------------------------------------------------
 
     def spawn(self, fn: Callable[[], Any], name: Optional[str] = None,
-              clock: Optional[VirtualClock] = None) -> Task:
+              clock: Optional[VirtualClock] = None, detached: bool = False) -> Task:
         """Register a task; it becomes ready at its clock's current time.
 
         Tasks spawned earlier win scheduling ties, so spawning in rank order
         gives the rank-id tiebreak the determinism guarantee relies on.
+
+        ``detached=True`` marks a *progress task*: a helper spawned from
+        inside a running task (e.g. the execution of a nonblocking file
+        request) whose failure is reported through whatever handle owns it
+        rather than through the run's per-rank error collection.  Spawning
+        mid-run is safe — exactly one task executes at a time, so the ready
+        heap is never mutated concurrently.
         """
         tid = next(self._tids)
-        task = Task(self, tid, fn, name or f"task-{tid}", clock or VirtualClock())
+        task = Task(self, tid, fn, name or f"task-{tid}", clock or VirtualClock(),
+                    detached=detached)
         self.tasks.append(task)
         task.state = Task.READY
         heapq.heappush(self._ready, (task.clock.now, task.tid, task))

@@ -84,6 +84,22 @@ class StrategyRegistry:
         """Instantiate the strategy registered under ``name``."""
         return self.get(name)(**kwargs)
 
+    def create_from_info(self, name: str, info=None):
+        """Instantiate ``name`` configured from an MPI-IO ``Info`` hint bag.
+
+        Dispatches to the class's ``from_info`` constructor (see
+        :meth:`repro.core.strategies.AtomicityStrategy.from_info`), which is
+        how ``cb_nodes`` / ``cb_buffer_size`` and friends reach aggregator
+        election without the MPI-IO layer knowing any strategy's tunables.
+        With no ``info`` (or for classes without ``from_info``) this is plain
+        :meth:`create`.
+        """
+        cls = self.get(name)
+        factory = getattr(cls, "from_info", None)
+        if info is None or factory is None:
+            return cls()
+        return factory(info)
+
     # -- queries ---------------------------------------------------------------
 
     def names(self) -> Tuple[str, ...]:

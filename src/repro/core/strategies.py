@@ -111,6 +111,8 @@ if TYPE_CHECKING:  # imported lazily to keep the package import graph acyclic
 __all__ = [
     "WriteOutcome",
     "ReadOutcome",
+    "PreparedWrite",
+    "PreparedRead",
     "AtomicityStrategy",
     "PipelineStrategy",
     "NoAtomicityStrategy",
@@ -187,6 +189,38 @@ class ReadOutcome:
         return self.end_time - self.start_time
 
 
+@dataclass
+class PreparedWrite:
+    """Stage-3 output of a collective write, ready for execution.
+
+    Produced by :meth:`PipelineStrategy.prepare_write` (view exchange,
+    conflict analysis, scheduling — everything that needs the *data* and the
+    peers), consumed by :meth:`PipelineStrategy.commit_write` (the file I/O).
+    The split is what the split-collective API pins down: ``begin`` runs the
+    exchange, ``end`` (or a detached progress task in between) the commit.
+    """
+
+    plan: WritePlan
+    payloads: Dict[str, bytes]
+    start_time: float
+
+
+@dataclass
+class PreparedRead:
+    """Stage-3 output of a collective read, ready for execution.
+
+    Carries the conflict report and the region alongside the plan because
+    delivery (:meth:`PipelineStrategy.deliver_read`, which runs inside
+    :meth:`PipelineStrategy.commit_read`) may need them — the two-phase
+    scatter routes pieces with the exchanged views.
+    """
+
+    plan: ReadPlan
+    report: ConflictReport
+    region: FileRegionSet
+    start_time: float
+
+
 class AtomicityStrategy(ABC):
     """Interface of an MPI-atomicity implementation strategy."""
 
@@ -199,6 +233,18 @@ class AtomicityStrategy(ABC):
     #: Whether the strategy implements the collective read pipeline
     #: (:meth:`execute_read`).  Every :class:`PipelineStrategy` does.
     supports_collective_read: bool = False
+
+    @classmethod
+    def from_info(cls, info) -> "AtomicityStrategy":
+        """Construct the strategy from an :class:`repro.io.info.Info` bag.
+
+        The default ignores every hint; strategies with tunables override it
+        to read theirs (``two-phase`` reads ``cb_nodes`` /
+        ``cb_buffer_size``).  This is how MPI-IO hints thread through the
+        registry (:meth:`repro.core.registry.StrategyRegistry.create_from_info`)
+        into strategy construction.
+        """
+        return cls()
 
     @abstractmethod
     def execute_write(
@@ -279,13 +325,76 @@ class PipelineStrategy(AtomicityStrategy):
     read_runner: ReadRunner = ReadRunner()
     supports_collective_read = True
 
-    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+    def prepare_write(
+        self,
+        comm: Communicator,
+        region: FileRegionSet,
+        data: bytes,
+        start_time: float,
+    ) -> PreparedWrite:
+        """Stages 1–3 of a collective write: exchange, analyse, schedule.
+
+        Collective over ``comm`` (the exchange — and, for two-phase, the
+        shuffle inside :meth:`schedule` — rendezvous there); performs no file
+        I/O, so the result can be committed later, on a different clock, by
+        :meth:`commit_write`.  ``start_time`` backdates the eventual outcome
+        to when the operation logically began.
+        """
         self._check_request(region, data)
-        start_time = handle.clock.now
         regions = self.exchange.run(comm, region)
         report = self.analysis.run(regions)
         plan, payloads = self.schedule(comm, region, data, report)
-        return self.runner.execute(comm, handle, plan, payloads, start_time=start_time)
+        return PreparedWrite(plan=plan, payloads=payloads, start_time=start_time)
+
+    def commit_write(
+        self, comm: Communicator, handle: ClientFileHandle, prepared: PreparedWrite
+    ) -> WriteOutcome:
+        """Stage 4 of a collective write: run the prepared plan's file I/O.
+
+        Collective over ``comm`` when the plan contains barrier directives
+        (graph colouring); ``comm`` and ``handle`` may belong to a detached
+        progress task rather than the rank's main task.
+        """
+        return self.runner.execute(
+            comm, handle, prepared.plan, prepared.payloads,
+            start_time=prepared.start_time,
+        )
+
+    def execute_write(self, comm, handle, region, data):  # noqa: D102 - see base
+        prepared = self.prepare_write(comm, region, data, handle.clock.now)
+        return self.commit_write(comm, handle, prepared)
+
+    def prepare_read(
+        self, comm: Communicator, region: FileRegionSet, start_time: float
+    ) -> PreparedRead:
+        """Stages 1–3 of a collective read: exchange, analyse, schedule.
+
+        The caller must have flushed its own write-behind data *before* the
+        exchange rendezvous (``handle.sync()``): two-phase aggregators read
+        directly from the servers on every rank's behalf, and they may start
+        the moment the exchange completes.
+        """
+        regions = self.exchange.run(comm, region)
+        report = self.analysis.run(regions)
+        plan = self.schedule_read(comm, region, report)
+        return PreparedRead(
+            plan=plan, report=report, region=region, start_time=start_time
+        )
+
+    def commit_read(
+        self, comm: Communicator, handle: ClientFileHandle, prepared: PreparedRead
+    ) -> Tuple[bytes, ReadOutcome]:
+        """Stage 4 of a collective read: fetch the plan, deliver the stream."""
+        outcome, sinks = self.read_runner.execute(
+            comm, handle, prepared.plan, start_time=prepared.start_time
+        )
+        data = self.deliver_read(
+            comm, prepared.region, prepared.report, outcome, sinks
+        )
+        # Delivery may communicate; the outcome covers it.
+        outcome.end_time = handle.clock.now
+        outcome.bytes_returned = len(data)
+        return data, outcome
 
     def execute_read(self, comm, handle, region):  # noqa: D102 - see base
         start_time = handle.clock.now
@@ -296,15 +405,8 @@ class PipelineStrategy(AtomicityStrategy):
         # its own cached reads.  Without this, a direct read would return
         # the servers' stale bytes for data this very rank wrote.
         handle.sync()
-        regions = self.exchange.run(comm, region)
-        report = self.analysis.run(regions)
-        plan = self.schedule_read(comm, region, report)
-        outcome, sinks = self.read_runner.execute(comm, handle, plan, start_time=start_time)
-        data = self.deliver_read(comm, region, report, outcome, sinks)
-        # Delivery may communicate; the outcome covers it.
-        outcome.end_time = handle.clock.now
-        outcome.bytes_returned = len(data)
-        return data, outcome
+        prepared = self.prepare_read(comm, region, start_time)
+        return self.commit_read(comm, handle, prepared)
 
     @abstractmethod
     def schedule(
@@ -564,16 +666,51 @@ class TwoPhaseStrategy(PipelineStrategy):
 
     exchange = ViewExchange(enabled=True)
 
+    #: Class-level negotiation memo: the MPI-IO layer builds one strategy
+    #: instance per rank (each rank owns its file handle), yet all ranks of a
+    #: collective negotiate over the *same* exchanged region objects, so
+    #: keying by region identity plus the tunables lets P ranks share one
+    #: negotiation instead of computing P identical ones.
+    _negotiation_memo = _SharedMemo()
+
     def __init__(
         self,
         num_aggregators: Optional[int] = None,
         policy: PriorityPolicy = HIGHER_RANK_WINS,
+        cb_buffer_size: Optional[int] = None,
     ) -> None:
         if num_aggregators is not None and num_aggregators <= 0:
             raise ValueError("num_aggregators must be positive")
+        if cb_buffer_size is not None and cb_buffer_size <= 0:
+            raise ValueError("cb_buffer_size must be positive")
         self.num_aggregators = num_aggregators
         self.policy = policy
-        self._memo = _SharedMemo()
+        self.cb_buffer_size = cb_buffer_size
+        self._memo = self._negotiation_memo
+
+    @classmethod
+    def from_info(cls, info) -> "TwoPhaseStrategy":
+        """Read the ROMIO collective-buffering hints.
+
+        ``cb_nodes`` fixes the aggregator count; ``cb_buffer_size`` caps the
+        per-aggregator file-domain chunk, so when ``cb_nodes`` is absent the
+        election sizes itself to the covered domain.
+        """
+        cb_nodes = info.get_int("cb_nodes", 0)
+        cb_buffer = info.get_int("cb_buffer_size", 0)
+        return cls(
+            num_aggregators=cb_nodes if cb_nodes > 0 else None,
+            cb_buffer_size=cb_buffer if cb_buffer > 0 else None,
+        )
+
+    def _aggregator_count(self, comm_size: int, domain_bytes: int) -> int:
+        """How many aggregators to elect for a domain of ``domain_bytes``."""
+        if self.num_aggregators is not None:
+            return self.num_aggregators
+        if self.cb_buffer_size is not None and domain_bytes > 0:
+            wanted = -(-domain_bytes // self.cb_buffer_size)  # ceil division
+            return max(1, min(comm_size, wanted))
+        return comm_size
 
     def _negotiate(self, comm_size: int, regions: Sequence[FileRegionSet]):
         """Election, partitioning and surrender accounting for one collective.
@@ -597,12 +734,21 @@ class TwoPhaseStrategy(PipelineStrategy):
         # copied (ConflictReport hands each rank its own list), and two
         # lists differing in any element must not share a negotiation.
         pin = tuple(regions)
-        key = tuple(map(id, pin))
+        # The memo is shared between strategy instances (one per rank in the
+        # MPI-IO layer), so the key must include every tunable that changes
+        # the negotiation, not just the exchanged views.
+        key = (
+            tuple(map(id, pin)),
+            comm_size,
+            self.num_aggregators,
+            self.cb_buffer_size,
+            id(self.policy),
+        )
         cached = self._memo.get(key)
         if cached is not None:
             return cached
         domain = merge_interval_sets([r.coverage for r in regions])
-        want = self.num_aggregators if self.num_aggregators is not None else comm_size
+        want = self._aggregator_count(comm_size, domain.total_bytes)
         aggregators = choose_aggregators(comm_size, want)
         chunks = partition_domain(domain, len(aggregators))
         pieces: List[Tuple[int, int, int]] = []

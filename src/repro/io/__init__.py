@@ -1,8 +1,10 @@
-"""MPI-IO layer (ROMIO equivalent): file views, MPIFile, Info hints, modes."""
+"""MPI-IO layer (ROMIO equivalent): file views, MPIFile, Info hints, modes,
+and request objects for nonblocking / split-collective I/O."""
 
 from .fileview import FileView
 from .file import MPIFile
 from .info import Info
+from .requests import IORequest, Testall, Waitall, Waitany
 from .modes import (
     MODE_APPEND,
     MODE_CREATE,
@@ -18,6 +20,10 @@ __all__ = [
     "MPIFile",
     "FileView",
     "Info",
+    "IORequest",
+    "Waitall",
+    "Testall",
+    "Waitany",
     "MODE_RDONLY",
     "MODE_WRONLY",
     "MODE_RDWR",

@@ -3,21 +3,42 @@
 :class:`MPIFile` reproduces the slice of the MPI-IO interface the paper's
 code fragment (Figure 4) exercises, on top of the file system substrate:
 
-* collective ``Open`` / ``Close``
+* collective ``Open`` / ``Close`` (``Close`` flushes write-behind data — an
+  implicit ``Sync`` — and refuses to close over unfinished requests)
 * ``Set_view`` with an etype/filetype/displacement triple built from the
   derived-datatype constructors
 * ``Set_atomicity`` / ``Get_atomicity``
 * collective ``Write_all`` / ``Read_all`` and independent ``Write_at`` /
   ``Read_at`` / ``Write`` / ``Read`` (individual file pointer)
+* **nonblocking** forms ``Iwrite_all`` / ``Iread_all`` / ``Iwrite_at`` /
+  ``Iread_at`` returning an :class:`~repro.io.requests.IORequest`
+  (``Wait`` / ``Test``, plus module-level
+  :func:`~repro.io.requests.Waitall` / ``Testall`` / ``Waitany``)
+* **split-collective** forms ``Write_all_begin`` / ``Write_all_end`` (and
+  the read pair): ``begin`` pins the negotiation/exchange phase on the
+  calling rank, the commit runs detached, ``end`` joins it
 * ``Sync``
+
+The blocking collectives are thin wrappers — ``Write_all`` is literally
+``Iwrite_all(...).Wait()``.  A nonblocking operation executes on a *detached
+progress task* with its own virtual clock (see
+:meth:`repro.mpi.comm.Communicator.dup_detached`), so computation issued
+between the call and its ``Wait`` overlaps the collective's shuffle and
+commit phases in virtual time.  Requests on one file are executed in issue
+order (the MPI ordering rule for nonblocking collectives), which also keeps
+the progress communicator's rendezvous consistent across ranks.
 
 In **atomic mode** the collective write is delegated to one of the paper's
 three strategies (:mod:`repro.core.strategies`); which one is chosen via the
-``atomicity_strategy`` Info hint, an explicit :meth:`set_strategy` call, or
-the file system's best supported default (locking where available — the
-ROMIO behaviour — otherwise process-rank ordering).  In non-atomic mode the
-segments are written independently, which is exactly the situation in which
-overlapping writes may interleave (Figure 2).
+``atomicity_strategy`` Info hint or the file system's best supported default
+(locking where available — the ROMIO behaviour — otherwise process-rank
+ordering).  Strategy tunables also come from the Info bag — ``cb_nodes`` /
+``cb_buffer_size`` steer two-phase aggregator election, ``striping_unit``
+overrides the file's stripe size, ``read_ahead`` / ``read_ahead_pages``
+tune the client cache (see :mod:`repro.io.info` for the full table).  The
+older :meth:`set_strategy` call survives as a deprecation shim over the
+hint.  In non-atomic mode the segments are written independently, which is
+exactly the situation in which overlapping writes may interleave (Figure 2).
 
 Collective reads are symmetric: ``Read_all`` runs the selected strategy's
 *staged read pipeline* (shared-mode locks, invalidate-then-read, or
@@ -29,30 +50,37 @@ everything its peers flushed before the call.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple, Union
+import itertools
+import warnings
+from dataclasses import replace
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.engine import TaskCancelled, current_task
 from ..core.regions import FileRegionSet
+from ..core.registry import default_registry
 from ..core.strategies import (
     AtomicityStrategy,
-    LockingStrategy,
     NoAtomicityStrategy,
-    RankOrderingStrategy,
+    PipelineStrategy,
     ReadOutcome,
     WriteOutcome,
     strategy_by_name,
 )
 from ..fs.lockmanager import LockMode
+from ..fs.striping import StripingLayout
 from ..datatypes.datatype import Datatype
 from ..datatypes.pack import pack, unpack
 from ..datatypes.typemap import BasicType
-from ..fs.client import FSClient
+from ..fs.client import ClientFileHandle, FSClient
 from ..fs.filesystem import ParallelFileSystem
 from ..mpi.comm import Communicator
+from ..mpi.errors import CollectiveAbortedError
 from .fileview import FileView
 from .info import Info
 from .modes import MODE_CREATE, MODE_RDONLY, MODE_RDWR, MODE_WRONLY
+from .requests import IORequest
 
 __all__ = ["MPIFile"]
 
@@ -69,7 +97,14 @@ def _as_bytes(buffer: Buffer, datatype: Optional[Datatype], count: Optional[int]
 
 
 class MPIFile:
-    """An open MPI file handle for one rank."""
+    """An open MPI file handle for one rank.
+
+    Construction is collective (all ranks of ``comm`` must construct
+    together, which :meth:`Open` guarantees): besides the rank's main file
+    handle it sets up the *progress substrate* for nonblocking I/O — a
+    detached duplicate of the communicator plus a second client handle on
+    the same file, both running on an independent virtual clock.
+    """
 
     def __init__(
         self,
@@ -84,13 +119,37 @@ class MPIFile:
         self.fs = fs
         self.amode = amode
         self.info = info.copy() if info is not None else Info()
-        self._client = FSClient(fs, client_id=comm.rank, clock=comm.clock)
-        self._handle = self._client.open(filename, create=bool(amode & MODE_CREATE) or True)
+        # The file-system client id must be unique per *process*, not per
+        # communicator rank: two groups split from the world communicator
+        # both have a rank 0, and byte-range locks are owner-aware (a
+        # process's own locks never conflict).  The engine task id is the
+        # process identity — for world-communicator files it equals the rank,
+        # so per-byte provenance still reads as the writing rank.
+        task = current_task()
+        client_id = task.tid if task is not None else comm.rank
+        self._client = FSClient(fs, client_id=client_id, clock=comm.clock)
+        # Open always creates (a long-standing simplification: MODE_CREATE is
+        # accepted but not required for missing files).  The progress handle
+        # below opens with create=False and relies on this ordering.
+        self._handle = self._client.open(filename, create=True)
         self._view = FileView.default()
         self._atomic = False
         self._strategy: Optional[AtomicityStrategy] = None
+        self._auto_strategy: Optional[AtomicityStrategy] = None
+        self._non_atomic = NoAtomicityStrategy()
         self._position = 0  # individual file pointer, in etypes
         self._closed = False
+        # -- nonblocking-I/O substrate: detached communicator + second handle
+        # on an independent clock, so in-flight collectives never contend
+        # with the rank's own timeline (compute, independent I/O).
+        self._async_comm = comm.dup_detached()
+        self._async_client = FSClient(fs, client_id=client_id, clock=self._async_comm.clock)
+        self._async_handle = self._async_client.open(filename, create=False)
+        self._outstanding: List[IORequest] = []
+        self._chain_tail: Optional[IORequest] = None
+        self._split_active: Optional[IORequest] = None
+        self._request_seq = itertools.count(1)
+        self._apply_open_hints()
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -109,9 +168,26 @@ class MPIFile:
         return f
 
     def Close(self) -> None:  # noqa: N802 - MPI spelling
-        """Collectively close the file (flushes write-behind data)."""
+        """Collectively close the file.
+
+        Flushes all write-behind cache data (an implicit :meth:`Sync`) and
+        synchronises the ranks.  Closing with outstanding unfinished
+        :class:`~repro.io.requests.IORequest`\\ s — issued but never
+        completed with ``Wait`` or a true ``Test`` — raises ``RuntimeError``:
+        a request's data is only guaranteed readable-after once it has been
+        waited on, so dropping one across a close is a program error.
+        """
         if not self._closed:
-            self._handle.close()
+            if self._outstanding:
+                labels = ", ".join(r._label for r in self._outstanding[:4])
+                raise RuntimeError(
+                    f"Close of {self.filename!r} with {len(self._outstanding)} "
+                    f"outstanding I/O request(s) ({labels}{'…' if len(self._outstanding) > 4 else ''}): "
+                    "complete them with Wait/Test (or Waitall) first"
+                )
+            self._handle.close()  # flushes this handle's write-behind pages
+            self._async_handle.close()
+            self.comm.release_detached(self._async_comm)
             self._closed = True
         self.comm.barrier()
 
@@ -133,6 +209,8 @@ class MPIFile:
         if info is not None:
             for key in info.keys():
                 self.info.set(key, info.get(key))
+            self._auto_strategy = None  # hints changed: re-derive the strategy
+            self._apply_cache_hints()
         self._view = FileView.create(disp, etype, filetype if filetype is not None else etype)
         self._position = 0
 
@@ -142,6 +220,40 @@ class MPIFile:
     def view(self) -> FileView:
         """The current file view."""
         return self._view
+
+    # -- Info hints ----------------------------------------------------------------
+
+    def _apply_open_hints(self) -> None:
+        """Apply the hints that configure the file/cache at open time."""
+        striping_unit = self.info.get_int("striping_unit", 0)
+        if striping_unit > 0 and striping_unit != self._handle.file.layout.stripe_size:
+            # The byte store is layout-agnostic, so restriping only redirects
+            # which servers future transfers are charged to — safe even when
+            # the file already holds data.  All ranks carry the same hint, so
+            # the assignment is idempotent across the collective open.
+            self._handle.file.layout = StripingLayout(
+                num_servers=self.fs.config.num_servers, stripe_size=striping_unit
+            )
+        self._apply_cache_hints()
+
+    def _apply_cache_hints(self) -> None:
+        """Apply the read-ahead hints to both of this rank's cache policies."""
+        updates = {}
+        toggle = self.info.get("read_ahead")
+        if toggle is not None:
+            if toggle.strip().lower() in ("false", "0", "no", "disable", "disabled"):
+                updates["read_ahead_pages"] = 0
+            else:
+                configured = self.fs.config.cache_policy.read_ahead_pages
+                updates["read_ahead_pages"] = configured if configured > 0 else 2
+        pages = self.info.get_int("read_ahead_pages", -1)
+        if pages >= 0:
+            updates["read_ahead_pages"] = pages
+        if not updates:
+            return
+        for handle in (self._handle, self._async_handle):
+            if handle is not None:
+                handle.cache.policy = replace(handle.cache.policy, **updates)
 
     # -- atomicity ---------------------------------------------------------------------
 
@@ -159,23 +271,53 @@ class MPIFile:
     get_atomicity = Get_atomicity
 
     def set_strategy(self, strategy: Union[str, AtomicityStrategy]) -> None:
-        """Choose the atomicity strategy used by collective writes."""
+        """Choose the atomicity strategy used by collective writes.
+
+        .. deprecated::
+            Pass ``Info({"atomicity_strategy": name})`` to :meth:`Open` or
+            :meth:`Set_view` instead; the Info route also threads the
+            strategy's tunables (``cb_nodes``, ``cb_buffer_size``, …).
+            Passing a strategy *instance* still pins that exact object.
+        """
+        warnings.warn(
+            "MPIFile.set_strategy is deprecated; pass "
+            "Info({'atomicity_strategy': <name>}) to Open/Set_view instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if isinstance(strategy, str):
-            strategy = strategy_by_name(strategy)
-        self._strategy = strategy
+            if strategy not in default_registry:
+                # Keep the old eager-validation behaviour for unknown names.
+                strategy_by_name(strategy)
+            self.info.set("atomicity_strategy", strategy)
+            self._strategy = None
+            self._auto_strategy = None
+        else:
+            self._strategy = strategy
 
     def effective_strategy(self) -> AtomicityStrategy:
-        """The strategy that an atomic collective write will use."""
+        """The strategy that an atomic collective operation will use.
+
+        Resolution order: an explicitly pinned instance
+        (:meth:`set_strategy` with an object), the ``atomicity_strategy``
+        Info hint, then the file system's best supported default — byte-range
+        locking where available (the ROMIO behaviour), process-rank ordering
+        on lock-less file systems (ENFS).  The instance is built through the
+        registry's Info-aware constructor, so hints like ``cb_nodes`` reach
+        aggregator election, and it is cached until the hints change.
+        """
         if self._strategy is not None:
             return self._strategy
-        hint = self.info.get("atomicity_strategy")
-        if hint:
-            return strategy_by_name(hint)
-        # ROMIO's default is byte-range locking; fall back to rank ordering on
-        # file systems (ENFS) that provide no locks.
-        if self.fs.config.supports_locking():
-            return LockingStrategy()
-        return RankOrderingStrategy()
+        if self._auto_strategy is None:
+            hint = self.info.get("atomicity_strategy")
+            if not hint:
+                hint = "locking" if self.fs.config.supports_locking() else "rank-ordering"
+            self._auto_strategy = default_registry.create_from_info(hint, self.info)
+        return self._auto_strategy
+
+    def _collective_strategy(self) -> AtomicityStrategy:
+        """The strategy governing a collective data-access call right now."""
+        return self.effective_strategy() if self._atomic else self._non_atomic
 
     # -- helpers ------------------------------------------------------------------------
 
@@ -192,7 +334,259 @@ class MPIFile:
             return buffer.nbytes
         return len(buffer)
 
-    # -- collective data access ------------------------------------------------------------
+    # -- the request machinery ---------------------------------------------------------
+
+    def _issue(
+        self,
+        label: str,
+        kind: str,
+        body: Callable[[Communicator, ClientFileHandle], object],
+        collective: bool = True,
+        flush_main: bool = True,
+    ) -> IORequest:
+        """Spawn ``body`` as a detached progress task; return its request.
+
+        The body receives the progress communicator and the progress file
+        handle (independent clock).  Requests on one file are chained in
+        issue order — request *n* starts only after request *n-1* completed —
+        which is both the MPI ordering rule for nonblocking collectives and
+        what keeps the progress communicator's rendezvous consistent across
+        ranks.  A failing collective body aborts the progress communicator so
+        every peer's in-flight request surfaces
+        :class:`~repro.mpi.errors.CollectiveAbortedError` instead of
+        deadlocking.
+        """
+        task = current_task()
+        if task is None:
+            raise RuntimeError(
+                "nonblocking file I/O must run inside an engine task "
+                "(start the program through run_spmd)"
+            )
+        # Read-your-own-writes across handles: data this rank wrote through
+        # the blocking independent path may still sit in the main handle's
+        # write-behind cache, invisible to the progress handle's transfers.
+        # (Split-collective begins flushed already, before their exchange
+        # rendezvous — the earlier of the two points is the binding one.)
+        if flush_main:
+            self._handle.sync()
+        issue_time = self.comm.clock.now
+        request = IORequest(label=label, kind=kind, on_retire=self._retire_request)
+        prev = self._chain_tail
+        self._chain_tail = request
+        self._outstanding.append(request)
+        comm = self._async_comm
+        handle = self._async_handle
+        rank = self.comm.rank
+
+        def progress() -> None:
+            try:
+                if prev is not None and not prev._done:
+                    prev._park_until_done()
+                # The operation starts no earlier than it was issued (and no
+                # earlier than the previous request finished — the progress
+                # clock already stands at that time).
+                handle.clock.advance_to(issue_time)
+                outcome = body(comm, handle)
+            except TaskCancelled:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - delivered via Wait
+                error: BaseException = exc
+                if collective:
+                    comm.abort(exc)
+                    if not isinstance(exc, CollectiveAbortedError):
+                        error = CollectiveAbortedError(
+                            f"nonblocking collective {label!r} aborted: rank "
+                            f"{rank} raised {type(exc).__name__}: {exc}"
+                        )
+                        error.__cause__ = exc
+                request._finish(error=error, end_time=handle.clock.now)
+            else:
+                request._finish(outcome=outcome, end_time=handle.clock.now)
+
+        task.engine.spawn(
+            progress,
+            name=f"{self.filename}:{label}@{rank}",
+            clock=handle.clock,
+            detached=True,
+        )
+        return request
+
+    def _retire_request(self, request: IORequest) -> None:
+        """Bookkeeping when a request is consumed by Wait / a true Test."""
+        if request in self._outstanding:
+            self._outstanding.remove(request)
+        if self._split_active is request:
+            self._split_active = None
+        if self._closed:
+            return
+        # A waited-on request is readable-after: push any write-behind data
+        # the detached operations left in the progress handle's cache out to
+        # the servers *before* refreshing the main handle, even while later
+        # requests are still in flight — the flush only moves already-written
+        # dirty runs, so it cannot disorder an in-flight operation.  (Free
+        # when nothing is dirty.)
+        self._async_handle.sync()
+        if request.kind == "write":
+            # The operation wrote through the progress handle; pages this
+            # handle cached before it are stale now.  (Dirty pages are
+            # flushed first — invalidate is sync-then-invalidate.)
+            self._handle.invalidate()
+
+    def _next_label(self, op: str) -> str:
+        return f"{op}#{next(self._request_seq)}"
+
+    # -- nonblocking collective data access ---------------------------------------------
+
+    def Iwrite_all(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Nonblocking collective write (``MPI_File_iwrite_all``).
+
+        Captures the data stream and advances the individual file pointer at
+        issue time, then runs the full staged pipeline — exchange, conflict
+        analysis, commit — on a detached progress task.  Returns the
+        :class:`~repro.io.requests.IORequest` whose ``Wait`` yields the
+        :class:`~repro.core.strategies.WriteOutcome`.
+        """
+        self._check_writable()
+        data = _as_bytes(buffer, datatype, count)
+        region = self._region_for(len(data), self._position)
+        strategy = self._collective_strategy()
+        request = self._issue(
+            self._next_label("iwrite_all"),
+            "write",
+            lambda comm, handle: strategy.execute_write(comm, handle, region, data),
+        )
+        self._position += len(data) // self._view.etype_size
+        return request
+
+    def Iread_all(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Nonblocking collective read (``MPI_File_iread_all``).
+
+        ``buffer`` is filled when the operation completes and must not be
+        read (or reused) before ``Wait``.  ``Wait`` returns the
+        :class:`~repro.core.strategies.ReadOutcome`.
+        """
+        self._check_readable()
+        nbytes = self._data_stream_size(buffer, datatype, count)
+        region = self._region_for(nbytes, self._position)
+        strategy = self._collective_strategy()
+
+        def body(comm: Communicator, handle: ClientFileHandle):
+            data, outcome = strategy.execute_read(comm, handle, region)
+            self._scatter_into(buffer, data, datatype, count)
+            return outcome
+
+        request = self._issue(self._next_label("iread_all"), "read", body)
+        self._position += nbytes // self._view.etype_size
+        return request
+
+    # -- split-collective data access ----------------------------------------------------
+
+    def _require_no_split(self) -> None:
+        if self._split_active is not None:
+            raise RuntimeError(
+                "a split collective is already active on this file; call the "
+                "matching _end first (MPI allows one split collective per file)"
+            )
+
+    def _split_strategy(self) -> PipelineStrategy:
+        strategy = self._collective_strategy()
+        if not isinstance(strategy, PipelineStrategy):
+            raise NotImplementedError(
+                f"strategy {strategy!r} does not expose the staged pipeline "
+                "required by split collectives"
+            )
+        return strategy
+
+    def Write_all_begin(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Begin a split collective write (``MPI_File_write_all_begin``).
+
+        The negotiation — view exchange, conflict analysis and, for
+        two-phase, the data shuffle — is pinned *here*, on the calling rank's
+        own timeline; the commit (the file I/O) runs detached until
+        :meth:`Write_all_end`.  Computation between ``begin`` and ``end``
+        therefore overlaps exactly the commit phase.
+        """
+        self._require_no_split()
+        self._check_writable()
+        data = _as_bytes(buffer, datatype, count)
+        region = self._region_for(len(data), self._position)
+        strategy = self._split_strategy()
+        self._handle.sync()  # flush before the exchange rendezvous
+        prepared = strategy.prepare_write(self.comm, region, data, self.comm.clock.now)
+        request = self._issue(
+            self._next_label("write_all_begin"),
+            "write",
+            lambda comm, handle: strategy.commit_write(comm, handle, prepared),
+            flush_main=False,  # flushed above, before the exchange rendezvous
+        )
+        self._position += len(data) // self._view.etype_size
+        self._split_active = request
+        return request
+
+    def Write_all_end(self) -> WriteOutcome:  # noqa: N802 - MPI spelling
+        """Finish the active split collective write; returns its outcome."""
+        request = self._split_active
+        if request is None or request.kind != "write":
+            raise RuntimeError("no split collective write is active on this file")
+        return request.Wait()
+
+    def Read_all_begin(  # noqa: N802 - MPI spelling
+        self,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Begin a split collective read (``MPI_File_read_all_begin``).
+
+        The exchange and read scheduling happen here; the fetch (and, for
+        two-phase, the scatter) run detached until :meth:`Read_all_end`.
+        ``buffer`` is filled by completion and must not be read before
+        ``end``.
+        """
+        self._require_no_split()
+        self._check_readable()
+        nbytes = self._data_stream_size(buffer, datatype, count)
+        region = self._region_for(nbytes, self._position)
+        strategy = self._split_strategy()
+        self._handle.sync()  # flush before the exchange rendezvous
+        prepared = strategy.prepare_read(self.comm, region, self.comm.clock.now)
+
+        def body(comm: Communicator, handle: ClientFileHandle):
+            handle.sync()  # the progress handle's own write-behind pages
+            data, outcome = strategy.commit_read(comm, handle, prepared)
+            self._scatter_into(buffer, data, datatype, count)
+            return outcome
+
+        request = self._issue(
+            self._next_label("read_all_begin"), "read", body, flush_main=False
+        )
+        self._position += nbytes // self._view.etype_size
+        self._split_active = request
+        return request
+
+    def Read_all_end(self) -> ReadOutcome:  # noqa: N802 - MPI spelling
+        """Finish the active split collective read; returns its outcome."""
+        request = self._split_active
+        if request is None or request.kind != "read":
+            raise RuntimeError("no split collective read is active on this file")
+        return request.Wait()
+
+    # -- blocking collective data access ------------------------------------------------
 
     def Write_all(  # noqa: N802 - MPI spelling
         self,
@@ -202,20 +596,12 @@ class MPIFile:
     ) -> WriteOutcome:
         """Collective write at the individual file pointer.
 
-        In atomic mode the write is carried out by the configured atomicity
-        strategy; in non-atomic mode each file segment is written
-        independently (no coordination).
+        A thin wrapper: ``Iwrite_all(...).Wait()``.  In atomic mode the
+        write is carried out by the configured atomicity strategy; in
+        non-atomic mode each file segment is written independently (no
+        coordination).
         """
-        self._check_writable()
-        data = _as_bytes(buffer, datatype, count)
-        region = self._region_for(len(data), self._position)
-        if self._atomic:
-            strategy = self.effective_strategy()
-        else:
-            strategy = NoAtomicityStrategy()
-        outcome = strategy.execute_write(self.comm, self._handle, region, data)
-        self._position += len(data) // self._view.etype_size
-        return outcome
+        return self.Iwrite_all(buffer, count, datatype).Wait()
 
     write_all = Write_all
 
@@ -227,31 +613,81 @@ class MPIFile:
     ) -> ReadOutcome:
         """Collective read at the individual file pointer into ``buffer``.
 
-        The read runs through the staged read pipeline of the configured
-        strategy (the same selection rules as :meth:`Write_all`): shared-mode
-        locks for the locking strategy, invalidate-then-cached-read for the
-        handshaking strategies, aggregate-and-scatter for two-phase.  In
-        non-atomic mode the baseline strategy still drops cached pages first
+        A thin wrapper: ``Iread_all(...).Wait()``.  The read runs through
+        the staged read pipeline of the configured strategy (the same
+        selection rules as :meth:`Write_all`): shared-mode locks for the
+        locking strategy, invalidate-then-cached-read for the handshaking
+        strategies, aggregate-and-scatter for two-phase.  In non-atomic mode
+        the baseline strategy still drops cached pages first
         (sync-then-invalidate), so a collective read observes everything its
-        peers flushed before the call — the cache-coherence contract of
-        :mod:`repro.fs.cache`.  No extra barriers are imposed; strategies
-        that need synchronisation encode it in their plans.
+        peers flushed before the call.
         """
-        self._check_readable()
-        nbytes = self._data_stream_size(buffer, datatype, count)
-        region = self._region_for(nbytes, self._position)
-        if self._atomic:
-            strategy = self.effective_strategy()
-        else:
-            strategy = NoAtomicityStrategy()
-        data, outcome = strategy.execute_read(self.comm, self._handle, region)
-        self._scatter_into(buffer, data, datatype, count)
-        self._position += nbytes // self._view.etype_size
-        return outcome
+        return self.Iread_all(buffer, count, datatype).Wait()
 
     read_all = Read_all
 
     # -- independent data access -----------------------------------------------------------
+
+    def _independent_write(
+        self, handle: ClientFileHandle, region: FileRegionSet, data: bytes, atomic: bool
+    ) -> int:
+        """One rank's uncoordinated write of ``region`` through ``handle``."""
+        if atomic and not region.is_empty():
+            extent = region.extent()
+            lock = handle.lock(extent.start, extent.stop)
+            try:
+                return self._write_region(handle, region, data, direct=True)
+            finally:
+                handle.unlock(lock)
+        return self._write_region(handle, region, data, direct=False)
+
+    def _independent_read(
+        self,
+        handle: ClientFileHandle,
+        region: FileRegionSet,
+        atomic: bool,
+        fresh: bool = False,
+    ) -> Tuple[bytes, ReadOutcome]:
+        """One rank's uncoordinated read of ``region`` through ``handle``.
+
+        ``fresh=True`` forces a cache invalidation before a non-atomic cached
+        read.  The nonblocking path needs it: the progress handle's cache may
+        hold pages that predate writes made through the rank's *main* handle,
+        and a same-process read after a completed write must see them.
+        """
+        outcome = ReadOutcome(
+            strategy="independent",
+            rank=self.comm.rank,
+            bytes_requested=region.total_bytes,
+            start_time=handle.clock.now,
+        )
+        use_lock = atomic and not region.is_empty() and self.fs.config.supports_locking()
+        stream = bytearray()
+        if use_lock:
+            # Direct reads return the servers' bytes: this client's own
+            # write-behind data must be flushed first (read-your-own-writes).
+            handle.sync()
+            extent = region.extent()
+            waited0 = handle.clock.waited
+            lock = handle.lock(extent.start, extent.stop, mode=LockMode.SHARED)
+            outcome.locks_acquired = 1
+            outcome.lock_wait_seconds = handle.clock.waited - waited0
+            try:
+                for _, file_off, length in region.buffer_map():
+                    stream.extend(handle.read(file_off, length, direct=True))
+            finally:
+                handle.unlock(lock)
+        else:
+            if atomic or fresh:
+                handle.invalidate()
+                outcome.invalidations = 1
+            for _, file_off, length in region.buffer_map():
+                stream.extend(handle.read(file_off, length))
+        outcome.bytes_read = len(stream)
+        outcome.bytes_returned = len(stream)
+        outcome.segments_read = region.num_segments
+        outcome.end_time = handle.clock.now
+        return bytes(stream), outcome
 
     def Write_at(  # noqa: N802 - MPI spelling
         self,
@@ -270,16 +706,7 @@ class MPIFile:
         self._check_writable()
         data = _as_bytes(buffer, datatype, count)
         region = self._region_for(len(data), offset_etypes)
-        if self._atomic and not region.is_empty():
-            extent = region.extent()
-            lock = self._handle.lock(extent.start, extent.stop)
-            try:
-                written = self._write_region(region, data, direct=True)
-            finally:
-                self._handle.unlock(lock)
-        else:
-            written = self._write_region(region, data, direct=False)
-        return written
+        return self._independent_write(self._handle, region, data, self._atomic)
 
     write_at = Write_at
 
@@ -301,46 +728,58 @@ class MPIFile:
         self._check_readable()
         nbytes = self._data_stream_size(buffer, datatype, count)
         region = self._region_for(nbytes, offset_etypes)
-        outcome = ReadOutcome(
-            strategy="independent",
-            rank=self.comm.rank,
-            bytes_requested=region.total_bytes,
-            start_time=self._handle.clock.now,
-        )
-        use_lock = (
-            self._atomic
-            and not region.is_empty()
-            and self.fs.config.supports_locking()
-        )
-        stream = bytearray()
-        if use_lock:
-            # Direct reads return the servers' bytes: this client's own
-            # write-behind data must be flushed first (read-your-own-writes).
-            self._handle.sync()
-            extent = region.extent()
-            waited0 = self._handle.clock.waited
-            lock = self._handle.lock(extent.start, extent.stop, mode=LockMode.SHARED)
-            outcome.locks_acquired = 1
-            outcome.lock_wait_seconds = self._handle.clock.waited - waited0
-            try:
-                for _, file_off, length in region.buffer_map():
-                    stream.extend(self._handle.read(file_off, length, direct=True))
-            finally:
-                self._handle.unlock(lock)
-        else:
-            if self._atomic:
-                self._handle.invalidate()
-                outcome.invalidations = 1
-            for _, file_off, length in region.buffer_map():
-                stream.extend(self._handle.read(file_off, length))
-        self._scatter_into(buffer, bytes(stream), datatype, count)
-        outcome.bytes_read = len(stream)
-        outcome.bytes_returned = len(stream)
-        outcome.segments_read = region.num_segments
-        outcome.end_time = self._handle.clock.now
+        stream, outcome = self._independent_read(self._handle, region, self._atomic)
+        self._scatter_into(buffer, stream, datatype, count)
         return outcome
 
     read_at = Read_at
+
+    def Iwrite_at(  # noqa: N802 - MPI spelling
+        self,
+        offset_etypes: int,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Nonblocking independent write (``MPI_File_iwrite_at``).
+
+        Same locking rules as :meth:`Write_at`, executed on the detached
+        progress timeline; ``Wait`` returns the byte count written.
+        """
+        self._check_writable()
+        data = _as_bytes(buffer, datatype, count)
+        region = self._region_for(len(data), offset_etypes)
+        atomic = self._atomic
+        return self._issue(
+            self._next_label("iwrite_at"),
+            "write",
+            lambda comm, handle: self._independent_write(handle, region, data, atomic),
+            collective=False,
+        )
+
+    def Iread_at(  # noqa: N802 - MPI spelling
+        self,
+        offset_etypes: int,
+        buffer: Buffer,
+        count: Optional[int] = None,
+        datatype: Optional[Datatype] = None,
+    ) -> IORequest:
+        """Nonblocking independent read (``MPI_File_iread_at``).
+
+        ``buffer`` is filled at completion; ``Wait`` returns the
+        :class:`~repro.core.strategies.ReadOutcome`.
+        """
+        self._check_readable()
+        nbytes = self._data_stream_size(buffer, datatype, count)
+        region = self._region_for(nbytes, offset_etypes)
+        atomic = self._atomic
+
+        def body(comm: Communicator, handle: ClientFileHandle):
+            stream, outcome = self._independent_read(handle, region, atomic, fresh=True)
+            self._scatter_into(buffer, stream, datatype, count)
+            return outcome
+
+        return self._issue(self._next_label("iread_at"), "read", body, collective=False)
 
     def Write(self, buffer: Buffer, count: Optional[int] = None,
               datatype: Optional[Datatype] = None) -> int:  # noqa: N802
@@ -375,8 +814,21 @@ class MPIFile:
     tell = Tell
 
     def Sync(self) -> None:  # noqa: N802 - MPI spelling
-        """Collective flush of write-behind data (``MPI_File_sync``)."""
+        """Collective flush of write-behind data (``MPI_File_sync``).
+
+        As in MPI, all outstanding requests on the file must be completed
+        first — ``Sync`` over an in-flight request could not promise the
+        visibility the call exists to provide, so it raises instead of
+        silently flushing a partial state.
+        """
+        if self._outstanding:
+            raise RuntimeError(
+                f"Sync of {self.filename!r} with {len(self._outstanding)} "
+                "outstanding I/O request(s): complete them with Wait/Test "
+                "first (MPI requires it)"
+            )
         self._handle.sync()
+        self._async_handle.sync()
         self.comm.barrier()
 
     sync = Sync
@@ -387,10 +839,13 @@ class MPIFile:
 
     # -- internals ---------------------------------------------------------------------------------
 
-    def _write_region(self, region: FileRegionSet, data: bytes, direct: bool) -> int:
+    @staticmethod
+    def _write_region(
+        handle: ClientFileHandle, region: FileRegionSet, data: bytes, direct: bool
+    ) -> int:
         written = 0
         for buf_off, file_off, length in region.buffer_map():
-            written += self._handle.write(file_off, data[buf_off : buf_off + length], direct=direct)
+            written += handle.write(file_off, data[buf_off : buf_off + length], direct=direct)
         return written
 
     def _scatter_into(

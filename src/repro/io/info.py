@@ -1,15 +1,28 @@
 """MPI Info hints (``MPI_Info``).
 
 A thin string-to-string dictionary with the usual ``set``/``get``/``keys``
-interface plus typed accessors for the hints this library understands:
+interface plus typed accessors for the hints this library understands.
+Hints are accepted at ``Open`` and ``Set_view`` and thread through the
+strategy registry into strategy construction, aggregator election and the
+client cache; unknown hints are ignored, as MPI requires.
 
 ``atomicity_strategy``
     Which strategy :class:`repro.io.file.MPIFile` uses in atomic mode
-    (``"locking"``, ``"graph-coloring"``, ``"rank-ordering"``).  When absent,
-    the file picks the file system's best supported default.
-``cb_buffer_size`` / ``striping_unit`` etc.
-    Accepted and stored for API compatibility; unknown hints are ignored, as
-    MPI requires.
+    (``"locking"``, ``"graph-coloring"``, ``"rank-ordering"``,
+    ``"two-phase"``, or any later-registered name).  When absent, the file
+    picks the file system's best supported default (locking where available,
+    otherwise rank ordering).
+``cb_nodes``
+    Number of two-phase aggregators (ROMIO's collective-buffering node
+    count).  Default: every rank aggregates.
+``cb_buffer_size``
+    Per-aggregator file-domain cap in bytes; when ``cb_nodes`` is absent the
+    two-phase election sizes itself as ``ceil(domain / cb_buffer_size)``.
+``striping_unit``
+    Overrides the file's stripe size (bytes) at open.
+``read_ahead`` / ``read_ahead_pages``
+    Client-cache read-ahead toggle (``"true"``/``"false"``) and explicit
+    page count; applied to the rank's cache policies at open/``Set_view``.
 """
 
 from __future__ import annotations

@@ -135,10 +135,14 @@ class _CommGroup:
         self.cost_model = cost_model or CommCostModel()
         self._round: Optional[_Round] = None
         self.aborted: Optional[BaseException] = None
+        #: Groups derived from this one (``split`` / ``dup_detached``); an
+        #: abort cascades into them so ranks parked in a sub-communicator or
+        #: detached-progress rendezvous with a dead rank are released too.
+        self.children: List["_CommGroup"] = []
 
     def abort(self, exc: BaseException) -> None:
         """Abandon collective communication: release parked ranks and make
-        every future collective on this group fail.
+        every future collective on this group (and its derived groups) fail.
 
         The engine calls this (via the runtime's failure hook) when a rank
         dies, so peers blocked in a rendezvous with the dead rank are woken
@@ -152,6 +156,9 @@ class _CommGroup:
             waiting, round_.waiting = round_.waiting, []
             for task in waiting:
                 task.engine.throw(task, CollectiveAbortedError(str(exc)))
+        for child in self.children:
+            if child.aborted is None:
+                child.abort(exc)
 
 
 class Communicator:
@@ -469,15 +476,14 @@ class Communicator:
                 )
                 ranks = [r for _, r in members]
                 clocks = [self._group.clocks[r] for r in ranks]
-                groups[c] = (
-                    _CommGroup(
-                        len(ranks),
-                        clocks=clocks,
-                        cost_model=self._group.cost_model,
-                        engine=self._group.engine,
-                    ),
-                    ranks,
+                group = _CommGroup(
+                    len(ranks),
+                    clocks=clocks,
+                    cost_model=self._group.cost_model,
+                    engine=self._group.engine,
                 )
+                self._group.children.append(group)
+                groups[c] = (group, ranks)
             mapping = groups
         else:
             mapping = None
@@ -488,3 +494,51 @@ class Communicator:
     def dup(self) -> "Communicator":
         """A new communicator with the same membership (``MPI_Comm_dup``)."""
         return self.split(color=0, key=self._rank)
+
+    def dup_detached(self) -> "Communicator":
+        """A communicator over the same ranks with *independent* clocks.
+
+        Collective over this communicator.  The duplicate's per-rank virtual
+        clocks start at zero and are never synchronised with this
+        communicator's clocks; they advance only through operations issued on
+        the duplicate.  This is the substrate for detached progress tasks
+        (nonblocking collective I/O): the progress task runs its collectives
+        and file transfers on the duplicate's clock, so the issuing rank's
+        own clock keeps advancing through overlapped computation, and the
+        two timelines are joined explicitly when the request is waited on.
+        """
+        if self._rank == 0:
+            group: Optional[_CommGroup] = _CommGroup(
+                self.size,
+                clocks=[VirtualClock() for _ in range(self.size)],
+                cost_model=self._group.cost_model,
+                engine=self._group.engine,
+            )
+            self._group.children.append(group)
+        else:
+            group = None
+        group = self.bcast(group, root=0)
+        return Communicator(group, self._rank)
+
+    def release_detached(self, detached: "Communicator") -> None:
+        """Forget a communicator created by :meth:`dup_detached`.
+
+        Unlinks it from this group's abort cascade so long-running programs
+        that open and close many files do not accumulate dead progress
+        groups.  Safe to call from every rank (the first call unlinks, the
+        rest are no-ops).
+        """
+        try:
+            self._group.children.remove(detached._group)
+        except ValueError:
+            pass
+
+    def abort(self, exc: BaseException) -> None:
+        """Abandon collective communication on this communicator.
+
+        Parked peers are released with a
+        :class:`~repro.mpi.errors.CollectiveAbortedError` and every future
+        collective fails; used by the nonblocking-I/O machinery when one
+        rank's detached collective dies so its peers do not deadlock.
+        """
+        self._group.abort(exc)

@@ -56,6 +56,9 @@ class SPMDExecutionError(MPIError):
     ----------
     failures:
         Dict mapping rank number to the exception instance that rank raised.
+        Key ``-1`` is a pseudo-entry used when only *detached progress
+        tasks* (nonblocking I/O) missed a wall-clock deadline — they are not
+        ranks, so their straggling is reported under this single entry.
     tracebacks:
         Dict mapping rank number to the rank-local formatted traceback (the
         call stack *inside that rank's function*), where one was captured.

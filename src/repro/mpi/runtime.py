@@ -125,13 +125,21 @@ def run_spmd(
     ]
 
     # Release peers blocked in a collective with a failed rank (the
-    # event-driven counterpart of the old barrier abort).
-    engine.on_task_failed = lambda task: group.abort(
-        CollectiveAbortedError(
-            f"collective aborted: rank {task.tid} failed with "
-            f"{type(task.error).__name__}: {task.error}"
+    # event-driven counterpart of the old barrier abort).  Detached progress
+    # tasks (nonblocking I/O) report their failures through the request that
+    # owns them and abort their own progress communicator, so they must not
+    # take the world group down.
+    def on_task_failed(task: Task) -> None:
+        if task.detached:
+            return
+        group.abort(
+            CollectiveAbortedError(
+                f"collective aborted: rank {task.tid} failed with "
+                f"{type(task.error).__name__}: {task.error}"
+            )
         )
-    )
+
+    engine.on_task_failed = on_task_failed
 
     engine.run(timeout=timeout, grace=_TIMEOUT_GRACE_SECONDS)
 
@@ -151,12 +159,24 @@ def run_spmd(
     if engine.timed_out:
         # Timeout entries take precedence over errors the teardown provoked
         # in the same ranks, so the root cause (the budget) is not masked.
+        # Detached progress tasks are not ranks: their tids would read as
+        # phantom rank numbers, so stragglers among them are reported under
+        # a single pseudo-entry only when no real rank is implicated.
         timeouts = {
             task.tid: TimeoutError(
                 f"rank {task.tid} did not finish within the {timeout}s timeout"
             )
             for task in engine.unfinished
+            if not task.detached
         }
+        if not timeouts and not failures:
+            stragglers = [t for t in engine.unfinished if t.detached]
+            if stragglers:
+                names = ", ".join(t.name for t in stragglers[:4])
+                timeouts[-1] = TimeoutError(
+                    f"detached progress task(s) ({names}) did not finish "
+                    f"within the {timeout}s timeout"
+                )
         if failures or timeouts:
             raise SPMDExecutionError({**failures, **timeouts}, tracebacks)
 

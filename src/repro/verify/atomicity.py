@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Collection, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -311,6 +311,7 @@ def check_read_atomicity(
     write_regions: Sequence[FileRegionSet],
     writer_data: Sequence[bytes],
     baseline: Optional[bytes] = None,
+    committed: Optional[Collection[int]] = None,
 ) -> AtomicityReport:
     """Verify that no collective read was *torn* by concurrent writes.
 
@@ -337,8 +338,18 @@ def check_read_atomicity(
     baseline:
         Snapshot of the file before the writes (defaults to all-zero bytes,
         the state of a freshly created file).
+    committed:
+        Ranks whose write *requests were completed* — ``Wait`` (or a true
+        ``Test``) returned — before the reads began.  A nonblocking write is
+        only readable-after via ``Wait``: while it is in flight a reader may
+        legitimately observe the pre-write state, but once waited-on its
+        data must be visible, so for any segment covered by a committed
+        writer the baseline stops being an admissible observation (a reader
+        returning it was served stale data).  Default: no write is known
+        committed, i.e. every write is treated as potentially in flight.
     """
     report = AtomicityReport(ok=True)
+    committed_set = frozenset(committed) if committed is not None else frozenset()
     writers = {
         region.rank: _StreamImage(region, data)
         for region, data in zip(write_regions, writer_data)
@@ -381,7 +392,13 @@ def check_read_atomicity(
                 report.overlap_regions_checked += 1
                 if len(covering) >= 2:
                     report.overlapped_bytes += interval.length
-                candidates = [baseline_for(interval.start, interval.stop)]
+                # The baseline is admissible only while every covering write
+                # may still be in flight; a committed (waited-on) writer's
+                # data must have replaced it.
+                if committed_set and committed_set.intersection(covering):
+                    candidates = []
+                else:
+                    candidates = [baseline_for(interval.start, interval.stop)]
                 for w in covering:
                     expected = writers[w].bytes_for(interval.start, interval.stop)
                     if expected is not None:
