@@ -49,10 +49,10 @@ def test_figure8_bandwidth(benchmark, machine_name):
 
     # Locking is reported only where the platform supports it.
     strategies = {r.strategy for r in table}
+    expected = {"graph-coloring", "rank-ordering", "two-phase", "two-phase-hier"}
     if machine.supports_locking:
-        assert strategies == {"locking", "graph-coloring", "rank-ordering", "two-phase"}
-    else:
-        assert strategies == {"graph-coloring", "rank-ordering", "two-phase"}
+        expected = expected | {"locking"}
+    assert strategies == expected
 
     for label in ARRAY_LABELS:
         series = figure8_series(table, machine.name, label)

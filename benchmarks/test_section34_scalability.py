@@ -15,6 +15,8 @@ from __future__ import annotations
 import time
 
 from repro.bench.harness import run_column_wise_experiment
+from repro.bench.jsonlog import entries_from_records
+from repro.bench.perfgate import check_wall
 from repro.bench.results import format_table
 from repro.core.analysis import ColumnWiseCase, analyze_regions, estimate_column_wise
 from repro.core.registry import default_registry
@@ -152,3 +154,84 @@ def test_section34_rank_sweep(benchmark):
         format_table(rows),
     )
     report_json("section34-rank-sweep", [rec for rec, _ in measured.values()])
+
+
+#: Extended sweep shape (the roadmap's order-of-magnitude push): two rows of
+#: 2P-wide columns with ghost width 2, run through the bulk-synchronous
+#: replay executor — no engine tasks, so 64k ranks fit in seconds.
+EXTENDED_M, EXTENDED_R = 2, 2
+EXTENDED_PROCESS_COUNTS = (4096, 16384, 65536)
+#: One global aggregator node per 256 ranks, 8 ranks per node (the
+#: ``cb_nodes`` / ``cb_ppn`` hints of the hierarchical strategy).
+EXTENDED_RANKS_PER_NODE = 8
+EXTENDED_RANKS_PER_AGGREGATOR = 256
+
+
+def test_section34_extended_sweep(benchmark):
+    """Hierarchical two-phase at P in {4096, 16384, 65536}.
+
+    Each point records its host wall clock next to the virtual makespan and
+    is gated by the absolute wall-clock-per-simulated-op budget of
+    ``repro.bench.perfgate.check_wall`` — the check that keeps the extended
+    sweep inside the CI wall budget as the data plane evolves.  Atomicity is
+    verified at the smallest point (the verifier is itself O(overlap pairs);
+    the byte-identity of the bulk replay to the engine path is pinned by
+    ``tests/test_core_bulk.py``).
+    """
+    measured = []
+
+    def sweep():
+        for nprocs in EXTENDED_PROCESS_COUNTS:
+            rec = run_column_wise_experiment(
+                "IBM SP",
+                EXTENDED_M,
+                2 * nprocs,
+                nprocs,
+                "two-phase-hier",
+                overlap_columns=EXTENDED_R,
+                array_label=f"extended-{nprocs}",
+                verify=nprocs <= 4096,
+                executor="bulk",
+                strategy_options={
+                    "num_aggregators": max(1, nprocs // EXTENDED_RANKS_PER_AGGREGATOR),
+                    "ranks_per_node": EXTENDED_RANKS_PER_NODE,
+                },
+            )
+            measured.append(rec)
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    entries = entries_from_records(measured)
+    assert all(e.get("wall_seconds") is not None for e in entries), (
+        "every extended-sweep point must record wall clock"
+    )
+    problems = check_wall(entries, experiment="section34-extended-sweep")
+    assert not problems, "wall budget exceeded:\n" + "\n".join(problems)
+    assert all(rec.atomic_ok for rec in measured)
+    # Weak scaling (the file grows with P on a fixed server pool), so the
+    # virtual makespan grows about linearly with the job; what must NOT grow
+    # is the virtual time per rank — a super-linear drift there would mean
+    # the hierarchical schedule's coordination overhead scales with P.
+    makespans = [rec.makespan_seconds for rec in measured]
+    assert makespans == sorted(makespans)
+    per_rank = [m / p for m, p in zip(makespans, EXTENDED_PROCESS_COUNTS)]
+    assert per_rank[-1] < per_rank[0] * 1.5
+
+    rows = [
+        {
+            "P": str(rec.nprocs),
+            "virtual makespan (s)": f"{rec.makespan_seconds:.4f}",
+            "BW (MB/s)": f"{rec.bandwidth_mb_per_s:.1f}",
+            "atomic": ("yes" if rec.atomic_ok else "NO") if rec.nprocs <= 4096 else "not verified",
+            "wall clock (s)": f"{rec.extra['wall_seconds']:.2f}",
+            "wall us/op": f"{rec.extra['wall_seconds'] / (rec.nprocs * rec.phases) * 1e6:.1f}",
+        }
+        for rec in measured
+    ]
+    report(
+        f"Section 3.4: extended sweep ({EXTENDED_M}x2P, R={EXTENDED_R}, GPFS, "
+        f"two-phase-hier via bulk executor, P in {list(EXTENDED_PROCESS_COUNTS)})",
+        format_table(rows),
+    )
+    report_json("section34-extended-sweep", measured)

@@ -28,8 +28,10 @@ serialises two *independent* concurrent operations.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from ..core.bulk import BulkWriteExecutor
 from ..core.executor import AtomicWriteExecutor, CollectiveReadExecutor
 from ..core.overlap import overlapped_bytes_total
 from ..core.regions import FileRegionSet
@@ -90,29 +92,43 @@ def run_column_wise_experiment(
     array_label: Optional[str] = None,
     verify: bool = True,
     pattern: str = "column-wise",
+    executor: str = "engine",
+    strategy_options: Optional[dict] = None,
 ) -> ExperimentRecord:
     """Measure one (machine, size, P, strategy) point of Figure 8.
 
     ``pattern`` selects the partitioning (``column-wise`` — the paper's
     evaluation and the default — ``row-wise`` or ``block-block``);
     ``overlap_columns`` is the ghost width ``R`` of the chosen pattern.
+
+    ``executor`` selects the execution substrate: ``"engine"`` (the
+    cooperative event engine, any strategy) or ``"bulk"`` (the
+    bulk-synchronous replay of :mod:`repro.core.bulk` — aggregation
+    strategies only, bit-identical virtual times, tens of thousands of
+    ranks in seconds).  ``strategy_options`` are keyword arguments for the
+    strategy's constructor (e.g. ``num_aggregators``, ``ranks_per_node``).
     """
+    if executor not in ("engine", "bulk"):
+        raise ValueError(f"unknown executor {executor!r}; known: engine, bulk")
     if isinstance(machine, str):
         machine = machine_by_name(machine)
     fs = ParallelFileSystem(machine.make_fs_config())
-    strat = default_registry.create(strategy)
-    executor = AtomicWriteExecutor(
+    strat = default_registry.create(strategy, **(strategy_options or {}))
+    executor_cls = AtomicWriteExecutor if executor == "engine" else BulkWriteExecutor
+    executor = executor_cls(
         fs,
         strat,
         filename=f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_{strategy}.dat",
         comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
     )
     views = views_for_pattern(pattern, M, N, nprocs, overlap_columns)
+    wall_start = time.perf_counter()
     result = executor.run(
         nprocs,
         view_factory=lambda rank, _P: views[rank],
         data_factory=rank_fill_bytes,
     )
+    wall_seconds = time.perf_counter() - wall_start
     regions = result.regions
     atomic_ok = True
     if verify and strat.provides_atomicity:
@@ -140,6 +156,7 @@ def run_column_wise_experiment(
         phases=phases,
         lock_waits=lock_waits,
         pattern=pattern,
+        extra={"wall_seconds": wall_seconds},
     )
 
 

@@ -19,7 +19,11 @@ Schema (version 1)::
     }
 
 ``makespan`` is virtual time (deterministic run to run), ``bytes`` the
-requested I/O volume of the measured operation.  Like the text report,
+requested I/O volume of the measured operation.  Entries may additionally
+carry ``wall_seconds`` (measured host run time of the point — machine
+dependent, unlike the makespan) and ``ops`` (the simulated operation count,
+ranks × phases), from which the wall-clock perf gate derives the
+per-simulated-op cost.  Like the text report,
 re-recording an experiment replaces its previous entries in place, so the
 file holds exactly one copy of every experiment regardless of how often or
 how partially the benchmarks are re-run.
@@ -54,25 +58,39 @@ def results_dir() -> Path:
 
 
 def _coerce(entry: Dict) -> Dict:
-    return {
+    out = {
         "P": int(entry["P"]),
         "strategy": str(entry["strategy"]),
         "makespan": float(entry["makespan"]),
         "bytes": int(entry["bytes"]),
     }
+    # Wall-clock fields are optional (machine-dependent, unlike the virtual
+    # makespan): `wall_seconds` is the measured host run time of the point,
+    # `ops` the simulated operation count it covers (ranks × phases), so
+    # wall_seconds / ops is the gateable per-simulated-op cost.
+    if entry.get("wall_seconds") is not None:
+        out["wall_seconds"] = float(entry["wall_seconds"])
+    if entry.get("ops") is not None:
+        out["ops"] = int(entry["ops"])
+    return out
 
 
 def entries_from_records(records: Iterable) -> List[Dict]:
     """Flatten :class:`~repro.bench.results.ExperimentRecord` rows to entries."""
-    return [
-        {
+    entries: List[Dict] = []
+    for record in records:
+        entry = {
             "P": record.nprocs,
             "strategy": record.strategy,
             "makespan": record.makespan_seconds,
             "bytes": record.bytes_requested,
         }
-        for record in records
-    ]
+        wall = getattr(record, "extra", {}).get("wall_seconds")
+        if wall is not None:
+            entry["wall_seconds"] = float(wall)
+            entry["ops"] = record.nprocs * max(1, record.phases)
+        entries.append(entry)
+    return entries
 
 
 def load_results(path: Optional[Path] = None) -> Dict:

@@ -8,6 +8,15 @@ small deterministic two-phase workload set, mirrors the measurements into
 the build when any measured makespan regresses more than the tolerance
 (default 15%) over the baseline committed at ``benchmarks/perf_baseline.json``.
 
+Next to the virtual-time gates sit **wall-clock-per-simulated-op** gates:
+each entry also records the measured host run time (``wall_seconds``) and
+the simulated operation count it covers (``ops`` = ranks × phases).  Wall
+clock is machine-dependent, so the relative gate is deliberately loose
+(:data:`DEFAULT_WALL_FACTOR`, a multiple rather than a percentage) — it
+exists to catch the order-of-magnitude scheduler/bookkeeping regressions
+that virtual time is blind to, not 10% noise.  :func:`check_wall` is the
+absolute form (a per-op ceiling) used by the extended Section 3.4 sweep.
+
 Intentional performance changes update the baseline explicitly::
 
     PYTHONPATH=src python -m repro.bench.perfgate --update-baseline
@@ -28,18 +37,44 @@ from .harness import run_column_wise_experiment
 from .jsonlog import SCHEMA_VERSION, entries_from_records, record_results
 from .overlap import run_overlap_experiment
 
-__all__ = ["BASELINE_PATH", "DEFAULT_TOLERANCE", "measure", "compare", "main"]
+__all__ = [
+    "BASELINE_PATH",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_WALL_FACTOR",
+    "DEFAULT_WALL_BUDGET_PER_OP",
+    "measure",
+    "compare",
+    "check_wall",
+    "main",
+]
 
 BASELINE_PATH = Path("benchmarks") / "perf_baseline.json"
 
 #: Allowed relative makespan growth before the gate fails.
 DEFAULT_TOLERANCE = 0.15
 
+#: Allowed wall-clock-per-simulated-op growth factor over the baseline.
+#: Wall clock varies with the host (unlike the deterministic makespan), so
+#: this is a generous multiple: it catches asymptotic regressions in the
+#: scheduler/bookkeeping, not machine jitter.
+DEFAULT_WALL_FACTOR = 5.0
+
+#: Absolute wall-clock ceiling per simulated operation (seconds) for
+#: :func:`check_wall` — the budget the extended Section 3.4 sweep must meet
+#: at every point for the 16k–64k rank runs to fit the CI wall budget.
+DEFAULT_WALL_BUDGET_PER_OP = 1e-3
+
 #: The gated workloads: quick, deterministic, all exercising the two-phase
 #: strategy (the performance centrepiece the roadmap tracks).
 _WRITE_POINTS = (4, 16)
 _WRITE_SHAPE = (64, 512)  # M x N bytes, column-wise
 _OVERLAP_POINT = (16, 16, 256)  # P, M, N
+#: The hierarchical strategy on the bulk-synchronous replay executor — the
+#: substrate of the extended Section 3.4 sweep — at a quick thousand-rank
+#: point, so both its virtual-time schedule and the replay's wall clock per
+#: op are locked in by the baseline.
+_HIER_POINT = (1024, 8, 2048)  # P, M, N
+_HIER_OPTIONS = {"num_aggregators": 8, "ranks_per_node": 8}
 
 
 def measure() -> Dict[str, List[Dict]]:
@@ -52,20 +87,52 @@ def measure() -> Dict[str, List[Dict]]:
     ]
     P, M, N = _OVERLAP_POINT
     overlap_record = run_overlap_experiment("IBM SP", M, N, P, api="split")
+    hier_p, hier_m, hier_n = _HIER_POINT
+    hier_record = run_column_wise_experiment(
+        "IBM SP", hier_m, hier_n, hier_p, "two-phase-hier",
+        overlap_columns=2, executor="bulk",
+        strategy_options=dict(_HIER_OPTIONS),
+    )
     return {
         "perfgate/two-phase-write": entries_from_records(write_records),
         "perfgate/overlap-split": entries_from_records([overlap_record]),
+        "perfgate/two-phase-hier-bulk": entries_from_records([hier_record]),
     }
 
 
 def _index(entries: Sequence[Dict]) -> Dict:
-    return {(e["P"], e["strategy"]): e for e in entries}
+    """Index entries by ``(P, strategy)``; duplicates are a hard error.
+
+    A duplicate key in a baseline or measurement means two entries would
+    silently shadow each other — and whichever one the dict kept could mask
+    a regression in the other — so malformed inputs fail loudly instead.
+    """
+    out: Dict = {}
+    for entry in entries:
+        key = (entry["P"], entry["strategy"])
+        if key in out:
+            raise ValueError(
+                f"duplicate perf entry for P={key[0]} strategy={key[1]}; "
+                "baseline or measurement is malformed"
+            )
+        out[key] = entry
+    return out
+
+
+def _wall_per_op(entry: Dict) -> Optional[float]:
+    """Wall seconds per simulated op, or ``None`` when not recorded."""
+    wall = entry.get("wall_seconds")
+    ops = entry.get("ops")
+    if wall is None or not ops:
+        return None
+    return float(wall) / int(ops)
 
 
 def compare(
     measured: Dict[str, List[Dict]],
     baseline: Dict,
     tolerance: Optional[float] = None,
+    wall_factor: float = DEFAULT_WALL_FACTOR,
 ) -> List[str]:
     """Problems (empty when the gate passes) of measured vs baseline."""
     tol = tolerance if tolerance is not None else baseline.get("tolerance", DEFAULT_TOLERANCE)
@@ -73,7 +140,7 @@ def compare(
     base_experiments = baseline.get("experiments", {})
     for experiment, entries in measured.items():
         base = _index(base_experiments.get(experiment, []))
-        for entry in entries:
+        for entry in _index(entries).values():
             key = (entry["P"], entry["strategy"])
             ref = base.get(key)
             if ref is None:
@@ -95,6 +162,52 @@ def compare(
                     f"{ref['makespan']:.6f}s -> {entry['makespan']:.6f}s; "
                     "consider refreshing the baseline"
                 )
+            wall = _wall_per_op(entry)
+            ref_wall = _wall_per_op(ref)
+            if wall is not None and ref_wall is not None and ref_wall > 0:
+                if wall > ref_wall * wall_factor:
+                    problems.append(
+                        f"{experiment}: P={key[0]} {key[1]} wall clock "
+                        f"{wall * 1e6:.1f}us/op exceeds baseline "
+                        f"{ref_wall * 1e6:.1f}us/op by more than "
+                        f"{wall_factor:g}x"
+                    )
+    # A baseline entry with no measured counterpart means a gated workload
+    # was renamed or dropped — the gate must not silently pass it.
+    for experiment, entries in base_experiments.items():
+        seen = _index(measured.get(experiment, []))
+        for key in _index(entries):
+            if key not in seen:
+                problems.append(
+                    f"{experiment}: baseline entry P={key[0]} strategy={key[1]} "
+                    "has no measured counterpart; the gated workload was "
+                    "renamed or dropped (run --update-baseline if intentional)"
+                )
+    return problems
+
+
+def check_wall(
+    entries: Sequence[Dict],
+    budget_per_op: float = DEFAULT_WALL_BUDGET_PER_OP,
+    experiment: str = "",
+) -> List[str]:
+    """Absolute wall-clock gate: problems for entries over the per-op budget.
+
+    Used by the extended Section 3.4 sweep, where there is no meaningful
+    committed wall baseline (the sweep points change as the scale grows):
+    every entry recording wall clock must stay under ``budget_per_op``
+    seconds per simulated operation.
+    """
+    label = f"{experiment}: " if experiment else ""
+    problems: List[str] = []
+    for entry in entries:
+        wall = _wall_per_op(entry)
+        if wall is not None and wall > budget_per_op:
+            problems.append(
+                f"{label}P={entry['P']} {entry['strategy']} wall clock "
+                f"{wall * 1e6:.1f}us/op exceeds the "
+                f"{budget_per_op * 1e6:.1f}us/op budget"
+            )
     return problems
 
 
@@ -106,9 +219,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for experiment, entries in measured.items():
         record_results(experiment, entries)
         for entry in entries:
+            wall = _wall_per_op(entry)
+            wall_note = f", wall {wall * 1e6:.1f}us/op" if wall is not None else ""
             print(
                 f"{experiment}: P={entry['P']} {entry['strategy']} "
-                f"makespan {entry['makespan']:.6f}s ({entry['bytes']} bytes)"
+                f"makespan {entry['makespan']:.6f}s ({entry['bytes']} bytes"
+                f"{wall_note})"
             )
     if update:
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)

@@ -42,14 +42,17 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .intervals import IntervalSet, clip_sorted_runs
+from .intervals import IntervalSet, clip_many, clip_sorted_runs
 from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
 
 __all__ = [
     "AggregatedRun",
     "choose_aggregators",
+    "node_leaders",
+    "choose_node_aggregators",
     "partition_domain",
     "merge_pieces",
+    "merge_origin_runs",
     "scatter_pieces",
     "assemble_stream",
 ]
@@ -78,6 +81,38 @@ def choose_aggregators(nprocs: int, num_aggregators: int) -> List[int]:
         raise ValueError("nprocs must be positive")
     count = max(1, min(num_aggregators, nprocs))
     return [(i * nprocs) // count for i in range(count)]
+
+
+def node_leaders(nprocs: int, ranks_per_node: int) -> List[int]:
+    """First rank of every node under a block rank-to-node placement.
+
+    With ``ranks_per_node`` consecutive ranks per node (the default MPI
+    block mapping), rank ``r`` lives on node ``r // ranks_per_node`` and the
+    node's leader is its lowest rank.  Deterministic, so every rank elects
+    the identical leaders without communication.
+    """
+    if nprocs <= 0:
+        raise ValueError("nprocs must be positive")
+    if ranks_per_node <= 0:
+        raise ValueError("ranks_per_node must be positive")
+    return list(range(0, nprocs, ranks_per_node))
+
+
+def choose_node_aggregators(
+    nprocs: int, ranks_per_node: int, num_aggregator_nodes: int
+) -> List[int]:
+    """Elect topology-aware global aggregators: evenly spaced *node leaders*.
+
+    The two-level scheme's upper tier.  ``num_aggregator_nodes`` (the
+    ``cb_nodes`` hint) picks that many nodes, evenly spread over the job, and
+    each contributes its leader rank as a global aggregator — so global
+    aggregation traffic enters every chosen node exactly once instead of
+    hitting arbitrary ranks.  Rank 0's node is always included (ROMIO's
+    convention, as in :func:`choose_aggregators`).
+    """
+    leaders = node_leaders(nprocs, ranks_per_node)
+    picks = choose_aggregators(len(leaders), num_aggregator_nodes)
+    return [leaders[i] for i in picks]
 
 
 def partition_domain(domain: IntervalSet, num_chunks: int) -> List[IntervalSet]:
@@ -131,6 +166,30 @@ def merge_pieces(
         (rank, int(off), bytes(data))
         for rank, pieces in pieces_by_sender
         for off, data in pieces
+        if len(data) > 0
+    ]
+    return merge_origin_runs(flat, policy)
+
+
+def merge_origin_runs(
+    runs: Sequence[Tuple[int, int, bytes]],
+    policy: PriorityPolicy = HIGHER_RANK_WINS,
+) -> List[AggregatedRun]:
+    """Merge ``(origin_rank, file_offset, data)`` runs, resolving conflicts.
+
+    The general form of :func:`merge_pieces`: each run carries its own origin
+    rank instead of inheriting it from the sender, so *pre-merged* runs (a
+    node-local aggregator's output, whose bytes originate from several ranks)
+    can be merged again at a higher tier.  Because the winner of every byte
+    is the covering origin with the highest ``(policy(origin), -origin)``
+    order — a fixed total order independent of grouping — merging node-local
+    results and then merging across nodes yields exactly the bytes a single
+    flat merge would: the property that makes two-level aggregation
+    byte-identical to single-level.
+    """
+    flat = [
+        (int(origin), int(off), bytes(data))
+        for origin, off, data in runs
         if len(data) > 0
     ]
     if not flat:
@@ -187,21 +246,39 @@ def scatter_pieces(
     this aggregator holds — the send buffers of the scatter half of a
     two-phase collective read.
 
-    Routed by bisection over the file-ordered runs, so the cost scales with
-    the consumers' piece count, not with ``len(held) * len(coverages)``.
+    Routed by one batch clip of every consumer interval against the
+    file-ordered runs, so the cost scales with the consumers' piece count,
+    not with ``len(held) * len(coverages)``.
     """
     out: List[List[Tuple[int, bytes]]] = [[] for _ in coverages]
     if not held:
         return out
-    starts = [start for start, _, _ in held]
-    stops = [stop for _, stop, _ in held]
-    for dest, coverage in enumerate(coverages):
-        for iv in coverage:
-            for lo, hi, idx in clip_sorted_runs(starts, stops, iv.start, iv.stop):
-                start, _, buf = held[idx]
-                out[dest].append(
-                    (lo, bytes(buffer[buf + (lo - start) : buf + (hi - start)]))
-                )
+    run_starts = np.fromiter((s for s, _, _ in held), dtype=np.int64, count=len(held))
+    run_stops = np.fromiter((e for _, e, _ in held), dtype=np.int64, count=len(held))
+    run_bufs = np.fromiter((b for _, _, b in held), dtype=np.int64, count=len(held))
+    # Flatten every consumer's request intervals into one query batch, with a
+    # parallel array recording which consumer each query belongs to.
+    q_starts = [c.starts for c in coverages if len(c.starts)]
+    if not q_starts:
+        return out
+    q_stops = [c.stops for c in coverages if len(c.starts)]
+    q_dest = [
+        np.full(len(c.starts), dest, dtype=np.int64)
+        for dest, c in enumerate(coverages)
+        if len(c.starts)
+    ]
+    a_idx, b_idx, lo, hi = clip_many(
+        np.concatenate(q_starts), np.concatenate(q_stops), run_starts, run_stops
+    )
+    dest_of = np.concatenate(q_dest)
+    piece_dest = dest_of[a_idx].tolist()
+    src = (run_bufs[b_idx] + (lo - run_starts[b_idx])).tolist()
+    for dest, piece_lo, piece_src, piece_hi in zip(
+        piece_dest, lo.tolist(), src, hi.tolist()
+    ):
+        out[dest].append(
+            (piece_lo, bytes(buffer[piece_src : piece_src + (piece_hi - piece_lo)]))
+        )
     return out
 
 
@@ -217,12 +294,26 @@ def assemble_stream(
     is the rank's user data stream with every covered byte filled from the
     pieces.  Returns ``(stream, filled_bytes)`` so the caller can verify that
     the scatter delivered the whole request.
+
+    The pieces must be pairwise disjoint (a correct scatter cuts each
+    consumer's request into non-overlapping pieces); overlapping deliveries
+    raise ``ValueError``.  Silently accepting them would double-count
+    ``filled`` — the routing below bisects over sorted *disjoint* runs — and
+    a duplicated delivery could then mask a short scatter that left part of
+    the request unfilled.
     """
     stream = bytearray(total_bytes)
     filled = 0
     ordered = sorted(pieces)
     starts = [off for off, _ in ordered]
     stops = [off + len(data) for off, data in ordered]
+    for idx in range(1, len(ordered)):
+        if starts[idx] < stops[idx - 1]:
+            raise ValueError(
+                "overlapping pieces delivered to assemble_stream: "
+                f"[{starts[idx - 1]}, {stops[idx - 1]}) and "
+                f"[{starts[idx]}, {stops[idx]}) share bytes"
+            )
     for buf_off, file_off, length in buffer_map:
         for lo, hi, idx in clip_sorted_runs(starts, stops, file_off, file_off + length):
             off, data = ordered[idx]

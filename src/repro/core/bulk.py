@@ -1,0 +1,357 @@
+"""Bulk-synchronous scale executor: the engine's answer without the engine.
+
+:class:`~repro.core.executor.AtomicWriteExecutor` runs every rank as a
+cooperative engine task on a parked OS thread.  That is the right model for
+arbitrary rank programs — any blocking pattern works — but even recycled
+carrier threads put a ceiling in the tens of thousands of ranks: stacks,
+handoffs and ready-heap traffic all scale with ``P``.  The collective write
+strategies need none of that generality.  Their rank program is a fixed
+bulk-synchronous sequence — collective, pure local compute, collective,
+file I/O — so the whole SPMD execution can be *replayed* by one driver loop
+with plain per-rank state:
+
+* A collective rendezvous synchronises every clock to the latest arrival
+  and charges each rank its own payload cost — exactly what
+  ``Communicator._collective`` computes, in closed form.
+* The file I/O phase issues each rank's write steps against the real
+  :class:`~repro.fs.client.ClientFileHandle` / shared
+  :class:`~repro.fs.costmodel.Resource` stack, one step at a time in
+  ascending ``(virtual clock, rank)`` order — exactly the discrete-event
+  order the engine's sequence points enforce (a running task keeps the
+  resources while its key is minimal; ties resume in task-id order, and
+  task ids are assigned in rank order).
+
+Both paths therefore produce **bit-identical** virtual times, file bytes
+and per-byte provenance; ``tests/test_core_bulk.py`` pins the equivalence
+against the engine at small ``P``.  What the replay gives up is generality
+— it supports exactly the aggregation strategies whose schedules it mirrors
+(:class:`~repro.core.strategies.TwoPhaseStrategy` and its hierarchical
+subclass) — and what it buys is scale: no tasks, no threads, no handoffs,
+so the Section 3.4 sweep extends to 64k ranks in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..fs.filesystem import ParallelFileSystem
+from ..mpi.clock import VirtualClock
+from ..mpi.cost import CommCostModel, _Volume, payload_nbytes
+from ..mpi.runtime import SPMDResult
+from .aggregation import merge_origin_runs, merge_pieces
+from .executor import ConcurrentWriteResult, default_data_factory
+from .intervals import clip_sorted_runs
+from .regions import FileRegionSet
+from .strategies import (
+    AGGREGATE_PAYLOAD,
+    HierarchicalTwoPhaseStrategy,
+    TwoPhaseStrategy,
+    WriteOutcome,
+)
+
+__all__ = ["BulkWriteExecutor"]
+
+ViewFactory = Callable[[int, int], Sequence[Tuple[int, int]]]
+DataFactory = Callable[[int, int], bytes]
+
+#: One rank's replayed schedule: the write steps as ``(file_offset, data,
+#: writer)`` triples plus the outcome bookkeeping the plan would carry.
+_RankSchedule = Tuple[List[Tuple[int, bytes, Optional[int]]], WriteOutcome]
+
+
+def _rendezvous(clocks: List[VirtualClock], costs: Sequence[float]) -> None:
+    """Replay one collective: synchronise to the latest arrival, then charge
+    each rank its own payload cost (``Communicator._collective``'s clock
+    arithmetic, without the rendezvous machinery)."""
+    latest = max(clock.now for clock in clocks)
+    for clock, cost in zip(clocks, costs):
+        clock.advance_to(latest, waiting=True)
+        clock.advance(cost)
+
+
+class BulkWriteExecutor:
+    """Drop-in replacement for :class:`AtomicWriteExecutor` at scale.
+
+    Same constructor and :meth:`run` contract, same
+    :class:`~repro.core.executor.ConcurrentWriteResult`; only the execution
+    substrate differs (driver-loop replay instead of engine tasks).  Raises
+    :class:`TypeError` for strategies whose schedule it cannot replay.
+    """
+
+    def __init__(
+        self,
+        fs: ParallelFileSystem,
+        strategy: TwoPhaseStrategy,
+        filename: str = "shared.dat",
+        comm_cost: Optional[CommCostModel] = None,
+    ) -> None:
+        if not isinstance(strategy, TwoPhaseStrategy):
+            raise TypeError(
+                "BulkWriteExecutor replays aggregation schedules only; "
+                f"{type(strategy).__name__} must run on the engine "
+                "(AtomicWriteExecutor)"
+            )
+        self.fs = fs
+        self.strategy = strategy
+        self.filename = filename
+        self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+
+    def run(
+        self,
+        nprocs: int,
+        view_factory: ViewFactory,
+        data_factory: DataFactory = default_data_factory,
+    ) -> ConcurrentWriteResult:
+        """Execute the concurrent write on ``nprocs`` replayed ranks."""
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        from ..fs.client import FSClient
+
+        fs = self.fs
+        fobj = fs.create(self.filename)
+        regions = [
+            FileRegionSet(rank, view_factory(rank, nprocs)) for rank in range(nprocs)
+        ]
+        datas = [data_factory(rank, r.total_bytes) for rank, r in enumerate(regions)]
+        clocks = [VirtualClock() for _ in range(nprocs)]
+
+        # Stage 1 — view exchange: one allgather of the segment tuples.
+        _rendezvous(
+            clocks, [self.comm_cost.cost(r.segments) for r in regions]
+        )
+
+        # Stages 2+3 — analysis and schedule, replayed for all ranks at once.
+        if isinstance(self.strategy, HierarchicalTwoPhaseStrategy):
+            schedules = self._schedule_hierarchical(nprocs, regions, datas, clocks)
+        else:
+            schedules = self._schedule_flat(nprocs, regions, datas, clocks)
+
+        # Stage 4 — file I/O in discrete-event order: repeatedly run one
+        # write step for the rank holding the minimal (clock, rank) key,
+        # against the real client/link/server resource stack (sequence
+        # points no-op outside engine tasks; the heap IS the sequencing).
+        handles = []
+        for rank in range(nprocs):
+            client = FSClient(fs, client_id=rank, clock=clocks[rank])
+            handles.append(client.open(self.filename))
+        try:
+            heap = [
+                (clocks[rank].now, rank)
+                for rank in range(nprocs)
+                if schedules[rank][0]
+            ]
+            heapq.heapify(heap)
+            cursors = [0] * nprocs
+            while heap:
+                _, rank = heapq.heappop(heap)
+                steps, outcome = schedules[rank]
+                offset, data, writer = steps[cursors[rank]]
+                cursors[rank] += 1
+                outcome.bytes_written += handles[rank].write(
+                    offset, data, direct=True, writer=writer
+                )
+                outcome.segments_written += 1
+                if cursors[rank] < len(steps):
+                    heapq.heappush(heap, (clocks[rank].now, rank))
+            outcomes = []
+            for rank, (steps, outcome) in enumerate(schedules):
+                outcome.end_time = clocks[rank].now
+                outcomes.append(outcome)
+        finally:
+            for handle in handles:
+                handle.close()
+
+        return ConcurrentWriteResult(
+            filename=self.filename,
+            fs=fs,
+            file=fobj,
+            outcomes=outcomes,
+            spmd=SPMDResult(returns=list(outcomes), clocks=clocks),
+            regions=regions,
+        )
+
+    # -- schedule replays -------------------------------------------------------
+
+    def _outcome(self, rank: int, region: FileRegionSet, **kwargs) -> WriteOutcome:
+        return WriteOutcome(
+            strategy=self.strategy.name,
+            rank=rank,
+            bytes_requested=region.total_bytes,
+            start_time=0.0,
+            **kwargs,
+        )
+
+    def _schedule_flat(
+        self,
+        nprocs: int,
+        regions: List[FileRegionSet],
+        datas: List[bytes],
+        clocks: List[VirtualClock],
+    ) -> List[_RankSchedule]:
+        """Replay :meth:`TwoPhaseStrategy.schedule` for every rank."""
+        strategy = self.strategy
+        agg_set, aggregators, piece_starts, pieces, surrendered = strategy._negotiate(
+            nprocs, regions
+        )
+        piece_stops = [stop for _, stop, _ in pieces]
+
+        # Shuffle: route each rank's view through the piece table.  Sparse
+        # per-destination dicts replace the engine path's dense send lists —
+        # same payloads, same network bytes, but bookkeeping sized by actual
+        # traffic instead of P lists per rank.
+        sendbufs: List[Dict[int, List[Tuple[int, bytes]]]] = []
+        shuffled = [0] * nprocs
+        for rank in range(nprocs):
+            out: Dict[int, List[Tuple[int, bytes]]] = {}
+            data = datas[rank]
+            for buf_off, file_off, length in regions[rank].buffer_map():
+                for lo, hi, idx in clip_sorted_runs(
+                    piece_starts, piece_stops, file_off, file_off + length
+                ):
+                    out.setdefault(pieces[idx][2], []).append(
+                        (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
+                    )
+                    shuffled[rank] += hi - lo
+            sendbufs.append(out)
+        _rendezvous(
+            clocks,
+            [
+                self.comm_cost.cost(
+                    _Volume(
+                        sum(
+                            payload_nbytes(bufs)
+                            for dest, bufs in sendbufs[rank].items()
+                            if dest != rank
+                        )
+                    )
+                )
+                for rank in range(nprocs)
+            ],
+        )
+
+        schedules: List[_RankSchedule] = []
+        for rank in range(nprocs):
+            steps: List[Tuple[int, bytes, Optional[int]]] = []
+            if rank in agg_set:
+                received = [
+                    (src, sendbufs[src].get(rank, [])) for src in range(nprocs)
+                ]
+                for run in merge_pieces(received, policy=strategy.policy):
+                    steps.append((run.offset, run.data, run.origin))
+            outcome = self._outcome(
+                rank,
+                regions[rank],
+                bytes_surrendered=surrendered[rank],
+                phases=2,
+                my_phase=1 if rank in agg_set else 0,
+                extra={
+                    "aggregators": float(len(aggregators)),
+                    "shuffled_bytes": float(shuffled[rank]),
+                },
+            )
+            schedules.append((steps, outcome))
+        return schedules
+
+    def _schedule_hierarchical(
+        self,
+        nprocs: int,
+        regions: List[FileRegionSet],
+        datas: List[bytes],
+        clocks: List[VirtualClock],
+    ) -> List[_RankSchedule]:
+        """Replay :meth:`HierarchicalTwoPhaseStrategy.schedule` for every rank."""
+        strategy = self.strategy
+        agg_set, aggregators, piece_starts, pieces, surrendered = strategy._negotiate(
+            nprocs, regions
+        )
+        piece_stops = [stop for _, stop, _ in pieces]
+        leaders = [strategy._leader_of(rank) for rank in range(nprocs)]
+        shuffled = [0] * nprocs
+
+        # Hop 1 — node combine: raw view pieces to the node leader.
+        node_received: Dict[int, List[Tuple[int, List[Tuple[int, bytes]]]]] = {}
+        hop1_costs = []
+        for rank in range(nprocs):
+            data = datas[rank]
+            my_pieces = [
+                (file_off, data[buf_off : buf_off + length])
+                for buf_off, file_off, length in regions[rank].buffer_map()
+            ]
+            volume = 0
+            if my_pieces:
+                node_received.setdefault(leaders[rank], []).append((rank, my_pieces))
+                if leaders[rank] != rank:
+                    volume = sum(len(d) for _, d in my_pieces)
+                    shuffled[rank] += volume
+            hop1_costs.append(self.comm_cost.cost(_Volume(volume)))
+        _rendezvous(clocks, hop1_costs)
+
+        # Leaders pre-merge and route the origin-tagged runs to the global
+        # aggregator owning each byte.
+        outgoing: List[Dict[int, List[Tuple[int, int, bytes]]]] = [
+            {} for _ in range(nprocs)
+        ]
+        for leader, arrivals in node_received.items():
+            node_runs = merge_origin_runs(
+                [
+                    (src, off, piece)
+                    for src, sent in arrivals
+                    for off, piece in sent
+                ],
+                policy=strategy.policy,
+            )
+            for run in node_runs:
+                for lo, hi, idx in clip_sorted_runs(
+                    piece_starts, piece_stops, run.offset, run.offset + run.length
+                ):
+                    agg_rank = pieces[idx][2]
+                    outgoing[leader].setdefault(agg_rank, []).append(
+                        (run.origin, lo, run.data[lo - run.offset : hi - run.offset])
+                    )
+                    if agg_rank != leader:
+                        shuffled[leader] += hi - lo
+
+        # Hop 2 — global combine.
+        _rendezvous(
+            clocks,
+            [
+                self.comm_cost.cost(
+                    _Volume(
+                        sum(
+                            payload_nbytes(runs)
+                            for dest, runs in outgoing[rank].items()
+                            if dest != rank
+                        )
+                    )
+                )
+                for rank in range(nprocs)
+            ],
+        )
+
+        num_nodes = -(-nprocs // strategy.ranks_per_node)
+        schedules: List[_RankSchedule] = []
+        for rank in range(nprocs):
+            steps: List[Tuple[int, bytes, Optional[int]]] = []
+            if rank in agg_set:
+                arrived = [
+                    run
+                    for src in range(nprocs)
+                    for run in outgoing[src].get(rank, [])
+                ]
+                for run in merge_origin_runs(arrived, policy=strategy.policy):
+                    steps.append((run.offset, run.data, run.origin))
+            outcome = self._outcome(
+                rank,
+                regions[rank],
+                bytes_surrendered=surrendered[rank],
+                phases=3,
+                my_phase=2 if rank in agg_set else (1 if rank == leaders[rank] else 0),
+                extra={
+                    "aggregators": float(len(aggregators)),
+                    "node_leaders": float(num_nodes),
+                    "shuffled_bytes": float(shuffled[rank]),
+                },
+            )
+            schedules.append((steps, outcome))
+        return schedules

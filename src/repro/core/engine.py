@@ -68,6 +68,13 @@ _TASK_STACK_BYTES = 1024 * 1024
 #: returns (mirrors the old thread-join grace period).
 _DEFAULT_GRACE_SECONDS = 1.0
 
+#: Idle carrier threads kept parked for reuse.  OS thread creation is the
+#: dominant per-task cost at scale (it degrades super-linearly as live
+#: threads accumulate), so carriers whose task finished are recycled across
+#: tasks *and* engines instead of exiting.  The cap bounds idle virtual
+#: memory; carriers beyond it simply exit as before.
+_MAX_IDLE_CARRIERS = 4096
+
 _tls = threading.local()
 
 
@@ -94,6 +101,73 @@ def sequence_point() -> None:
     task = current_task()
     if task is not None:
         task.engine.sequence(task)
+
+
+class _Carrier:
+    """A reusable parked OS thread that executes tasks one at a time.
+
+    The thread loops: wait for a task assignment, run the task to
+    completion (the task body ends by yielding to the scheduler), then
+    return to the shared pool for the next assignment.  A carrier only ever
+    runs while its current task is the engine's running task, so recycling
+    never introduces concurrency — it only skips the thread create/destroy.
+    """
+
+    __slots__ = ("thread", "_work", "_task")
+
+    def __init__(self) -> None:
+        self._work = threading.Semaphore(0)
+        self._task: Optional["Task"] = None
+        old_stack = threading.stack_size(_TASK_STACK_BYTES)
+        try:
+            self.thread = threading.Thread(
+                target=self._loop, name="engine-carrier", daemon=True
+            )
+            self.thread.start()
+        finally:
+            threading.stack_size(old_stack)
+
+    def assign(self, task: "Task") -> None:
+        self._task = task
+        self._work.release()
+
+    def _loop(self) -> None:
+        while True:
+            self._work.acquire()
+            task = self._task
+            task._main()
+            # The scheduler was already released inside _main; from here the
+            # carrier only touches its own state and the locked pool.
+            self._task = None
+            _tls.task = None
+            if not _carrier_pool.release(self):
+                return
+
+
+class _CarrierPool:
+    """Process-wide free list of idle carriers (threads are fungible)."""
+
+    def __init__(self, max_idle: int) -> None:
+        self._idle: List[_Carrier] = []
+        self._max_idle = max_idle
+        self._lock = threading.Lock()
+
+    def acquire(self) -> _Carrier:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return _Carrier()
+
+    def release(self, carrier: _Carrier) -> bool:
+        """Park an idle carrier for reuse; False tells the thread to exit."""
+        with self._lock:
+            if len(self._idle) < self._max_idle:
+                self._idle.append(carrier)
+                return True
+        return False
+
+
+_carrier_pool = _CarrierPool(_MAX_IDLE_CARRIERS)
 
 
 class Task:
@@ -248,6 +322,30 @@ class Engine:
         task._wake_value = value
         self._make_ready(task, at)
 
+    def wake_all(self, tasks: List[Task], value: Any = None,
+                 at: Optional[float] = None) -> None:
+        """Wake many blocked tasks in one batch (all get the same value).
+
+        The collective rendezvous releases every participant at once; for
+        large communicators, extending the ready heap and re-heapifying in
+        one pass beats per-task pushes, and the state checks run before any
+        task is made ready so a bad batch cannot be half-applied.
+        """
+        for task in tasks:
+            if task.state != Task.BLOCKED:
+                raise EngineError(f"cannot wake {task!r}: not blocked")
+        entries = []
+        for task in tasks:
+            task._wake_value = value
+            task.state = Task.READY
+            entries.append((task.clock.now if at is None else at, task.tid, task))
+        if len(entries) > len(self._ready):
+            self._ready.extend(entries)
+            heapq.heapify(self._ready)
+        else:
+            for entry in entries:
+                heapq.heappush(self._ready, entry)
+
     def throw(self, task: Task, exc: BaseException, at: Optional[float] = None) -> None:
         """Wake a blocked task so that its ``wait`` raises ``exc``."""
         if task.state != Task.BLOCKED:
@@ -365,14 +463,9 @@ class Engine:
         return None
 
     def _start_thread(self, task: Task) -> None:
-        old_stack = threading.stack_size(_TASK_STACK_BYTES)
-        try:
-            task._thread = threading.Thread(
-                target=task._main, name=f"{self.name}/{task.name}", daemon=True
-            )
-            task._thread.start()
-        finally:
-            threading.stack_size(old_stack)
+        carrier = _carrier_pool.acquire()
+        task._thread = carrier.thread
+        carrier.assign(task)
 
     def _cancel(self, task: Task, exc: TaskCancelled,
                 wait_timeout: Optional[float] = None) -> bool:

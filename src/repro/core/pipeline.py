@@ -158,8 +158,8 @@ class ViewExchange:
         """
         if not self.enabled:
             return None
-        all_segments = comm.allgather(region.segments)
-        key = tuple(map(id, all_segments))
+        all_segments = comm.allgather_shared(region.segments)
+        key = id(all_segments)
         regions = self._memo.get(key)
         if regions is None:
             regions = [FileRegionSet(rank, segs) for rank, segs in enumerate(all_segments)]
@@ -225,7 +225,12 @@ class ConflictAnalysis:
         (matrix, colouring, ordering) are shared — this is what makes the
         O(P^2)-ish negotiation algorithms affordable at thousands of ranks.
         """
-        report = ConflictReport(regions=list(regions) if regions is not None else None)
+        # Hand the shared stage-1 list through as-is: copying it per rank is
+        # O(P) references per rank — O(P^2) per collective — for no benefit,
+        # since the report is read-only downstream.
+        if regions is not None and not isinstance(regions, list):
+            regions = list(regions)
+        report = ConflictReport(regions=regions)
         if self.mode == "none" or regions is None:
             return report
         # Fingerprint every view by identity: the region objects are shared

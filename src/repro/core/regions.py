@@ -18,9 +18,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
-from .intervals import Interval, IntervalSet
+import numpy as np
+
+from .intervals import Interval, IntervalSet, _complement_arrays, clip_many
 
 __all__ = ["FileRegionSet", "build_region_sets"]
+
+
+def _segment_arrays(
+    segments: Sequence[Tuple[int, int]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The view's segments as parallel ``(starts, stops)`` arrays (stream order)."""
+    n = len(segments)
+    starts = np.fromiter((off for off, _ in segments), dtype=np.int64, count=n)
+    stops = starts + np.fromiter(
+        (length for _, length in segments), dtype=np.int64, count=n
+    )
+    return starts, stops
 
 
 @dataclass(frozen=True)
@@ -113,21 +127,20 @@ class FileRegionSet:
         """
         if remove.is_empty() or not self.segments:
             return self
-        new_segments: List[Tuple[int, int]] = []
-        for off, length in self.segments:
-            piece = IntervalSet.single(off, off + length).subtract(remove)
-            for iv in piece:
-                new_segments.append((iv.start, iv.length))
-        return FileRegionSet(self.rank, new_segments)
+        # Subtracting `remove` is intersecting with its complement; one batch
+        # clip then handles every segment at once, in stream order.
+        starts, stops = _segment_arrays(self.segments)
+        comp = _complement_arrays(remove.starts, remove.stops, int(stops.max()))
+        _, _, lo, hi = clip_many(starts, stops, *comp)
+        return FileRegionSet(self.rank, zip(lo.tolist(), (hi - lo).tolist()))
 
     def restricted_to(self, keep: IntervalSet) -> "FileRegionSet":
         """A copy of the view containing only bytes inside ``keep``."""
-        new_segments: List[Tuple[int, int]] = []
-        for off, length in self.segments:
-            piece = IntervalSet.single(off, off + length).intersection(keep)
-            for iv in piece:
-                new_segments.append((iv.start, iv.length))
-        return FileRegionSet(self.rank, new_segments)
+        if not self.segments:
+            return self
+        starts, stops = _segment_arrays(self.segments)
+        _, _, lo, hi = clip_many(starts, stops, keep.starts, keep.stops)
+        return FileRegionSet(self.rank, zip(lo.tolist(), (hi - lo).tolist()))
 
     # -- buffer mapping -----------------------------------------------------------
 
@@ -153,14 +166,14 @@ class FileRegionSet:
         data in the user buffer (the surrendered bytes are simply never
         transferred).
         """
-        out: List[Tuple[int, int, int]] = []
-        buf = 0
-        for off, length in self.segments:
-            pieces = IntervalSet.single(off, off + length).intersection(keep)
-            for iv in pieces:
-                out.append((buf + (iv.start - off), iv.start, iv.length))
-            buf += length
-        return out
+        if not self.segments:
+            return []
+        starts, stops = _segment_arrays(self.segments)
+        lengths = stops - starts
+        buf_base = np.cumsum(lengths) - lengths
+        a_idx, _, lo, hi = clip_many(starts, stops, keep.starts, keep.stops)
+        buf = buf_base[a_idx] + (lo - starts[a_idx])
+        return list(zip(buf.tolist(), lo.tolist(), (hi - lo).tolist()))
 
 
 def build_region_sets(

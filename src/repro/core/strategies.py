@@ -78,6 +78,8 @@ from ..fs.lockmanager import LockMode
 from .aggregation import (
     assemble_stream,
     choose_aggregators,
+    choose_node_aggregators,
+    merge_origin_runs,
     merge_pieces,
     partition_domain,
     scatter_pieces,
@@ -100,7 +102,11 @@ from .pipeline import (
     WritePlan,
     WriteStep,
 )
-from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
+from .rank_ordering import (
+    HIGHER_RANK_WINS,
+    PriorityPolicy,
+    surrendered_bytes_by_priority,
+)
 from .regions import FileRegionSet
 from .registry import default_registry, register_strategy
 
@@ -120,6 +126,7 @@ __all__ = [
     "GraphColoringStrategy",
     "RankOrderingStrategy",
     "TwoPhaseStrategy",
+    "HierarchicalTwoPhaseStrategy",
     "strategy_by_name",
     "STRATEGY_NAMES",
 ]
@@ -712,6 +719,15 @@ class TwoPhaseStrategy(PipelineStrategy):
             return max(1, min(comm_size, wanted))
         return comm_size
 
+    def _elect(self, comm_size: int, want: int) -> List[int]:
+        """Pick the aggregator ranks (hook for topology-aware subclasses)."""
+        return choose_aggregators(comm_size, want)
+
+    def _tunables_key(self) -> Tuple:
+        """Every tunable that changes the negotiation, for the memo key."""
+        return (type(self).__name__, self.num_aggregators, self.cb_buffer_size,
+                id(self.policy))
+
     def _negotiate(self, comm_size: int, regions: Sequence[FileRegionSet]):
         """Election, partitioning and surrender accounting for one collective.
 
@@ -740,16 +756,14 @@ class TwoPhaseStrategy(PipelineStrategy):
         key = (
             tuple(map(id, pin)),
             comm_size,
-            self.num_aggregators,
-            self.cb_buffer_size,
-            id(self.policy),
+            self._tunables_key(),
         )
         cached = self._memo.get(key)
         if cached is not None:
             return cached
         domain = merge_interval_sets([r.coverage for r in regions])
         want = self._aggregator_count(comm_size, domain.total_bytes)
-        aggregators = choose_aggregators(comm_size, want)
+        aggregators = self._elect(comm_size, want)
         chunks = partition_domain(domain, len(aggregators))
         pieces: List[Tuple[int, int, int]] = []
         for chunk, agg_rank in zip(chunks, aggregators):
@@ -757,13 +771,7 @@ class TwoPhaseStrategy(PipelineStrategy):
                 pieces.append((iv.start, iv.stop, agg_rank))
         pieces.sort()
         piece_starts = [start for start, _, _ in pieces]
-        claimed = IntervalSet.empty()
-        surrendered = [0] * len(regions)
-        for r in sorted(
-            regions, key=lambda r: (self.policy(r.rank), -r.rank), reverse=True
-        ):
-            surrendered[r.rank] = r.coverage.intersection(claimed).total_bytes
-            claimed = claimed.union(r.coverage)
+        surrendered = surrendered_bytes_by_priority(regions, policy=self.policy)
         result = (frozenset(aggregators), aggregators, piece_starts, pieces, surrendered)
         self._memo.put(key, pin, result)
         return result
@@ -881,6 +889,175 @@ class TwoPhaseStrategy(PipelineStrategy):
         )
         outcome.extra["scatter_filled_bytes"] = float(filled)
         return stream
+
+
+@register_strategy
+class HierarchicalTwoPhaseStrategy(TwoPhaseStrategy):
+    """Two-level (hierarchical) two-phase aggregation.
+
+    The flat shuffle of :class:`TwoPhaseStrategy` has every rank exchanging
+    with every aggregator — at tens of thousands of ranks the metadata alone
+    (dense per-destination send lists) dominates.  The hierarchical variant
+    splits the shuffle along the machine topology:
+
+    1. **node combine** — every rank ships its pieces to its *node leader*
+       (the lowest rank of its ``ranks_per_node`` block), which pre-merges
+       them with the same priority rule, keeping per-byte origins;
+    2. **global combine** — node leaders route the pre-merged, origin-tagged
+       runs to the global aggregators (evenly spaced node leaders, the
+       ``cb_nodes`` hint) owning each file-domain chunk, which merge again
+       *by origin priority*;
+    3. **write** — the aggregators write their disjoint extents in parallel,
+       exactly as in the flat strategy.
+
+    Both hops use the sparse all-to-all, so every data structure is sized by
+    actual traffic (each rank talks to one leader; each leader to a handful
+    of aggregators), never by ``P``.  Because the merge priority
+    ``(policy(origin), -origin)`` is a fixed total order, merging node-local
+    winners and then merging across nodes picks the same winner for every
+    byte as one flat merge — file contents and per-byte provenance are
+    byte-identical to :class:`TwoPhaseStrategy`; only the communication
+    schedule (and hence the virtual makespan) differs.
+
+    Selectable through Info hints: ``atomicity_strategy = two-phase-hier``
+    with ``cb_ppn`` (ranks per node, default 8) and ``cb_nodes`` (number of
+    aggregator nodes, default: every node) describing the topology.
+    """
+
+    name = "two-phase-hier"
+
+    #: Default block size of the rank-to-node placement when no ``cb_ppn``
+    #: hint is given.
+    DEFAULT_RANKS_PER_NODE = 8
+
+    def __init__(
+        self,
+        num_aggregators: Optional[int] = None,
+        policy: PriorityPolicy = HIGHER_RANK_WINS,
+        cb_buffer_size: Optional[int] = None,
+        ranks_per_node: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            num_aggregators=num_aggregators,
+            policy=policy,
+            cb_buffer_size=cb_buffer_size,
+        )
+        if ranks_per_node is not None and ranks_per_node <= 0:
+            raise ValueError("ranks_per_node must be positive")
+        self.ranks_per_node = ranks_per_node or self.DEFAULT_RANKS_PER_NODE
+
+    @classmethod
+    def from_info(cls, info) -> "HierarchicalTwoPhaseStrategy":
+        """Read the collective-buffering hints plus the ``cb_ppn`` topology."""
+        cb_nodes = info.get_int("cb_nodes", 0)
+        cb_buffer = info.get_int("cb_buffer_size", 0)
+        cb_ppn = info.get_int("cb_ppn", 0)
+        return cls(
+            num_aggregators=cb_nodes if cb_nodes > 0 else None,
+            cb_buffer_size=cb_buffer if cb_buffer > 0 else None,
+            ranks_per_node=cb_ppn if cb_ppn > 0 else None,
+        )
+
+    def _aggregator_count(self, comm_size: int, domain_bytes: int) -> int:
+        """Default to one aggregator per node instead of one per rank."""
+        if self.num_aggregators is None and self.cb_buffer_size is None:
+            return -(-comm_size // self.ranks_per_node)  # ceil: node count
+        return super()._aggregator_count(comm_size, domain_bytes)
+
+    def _elect(self, comm_size: int, want: int) -> List[int]:
+        ppn = min(self.ranks_per_node, comm_size)
+        return choose_node_aggregators(comm_size, ppn, want)
+
+    def _tunables_key(self) -> Tuple:
+        return super()._tunables_key() + (self.ranks_per_node,)
+
+    def _leader_of(self, rank: int) -> int:
+        return (rank // self.ranks_per_node) * self.ranks_per_node
+
+    def schedule(self, comm, region, data, report):  # noqa: D102 - see base
+        regions = report.regions
+        agg_set, aggregators, piece_starts, pieces, surrendered = self._negotiate(
+            comm.size, regions
+        )
+        leader = self._leader_of(region.rank)
+        is_leader = region.rank == leader
+
+        # Hop 1 — node combine: ship this rank's raw view pieces to its node
+        # leader.  No routing yet; the leader sees every piece of its node.
+        my_pieces = [
+            (file_off, data[buf_off : buf_off + length])
+            for buf_off, file_off, length in region.buffer_map()
+        ]
+        shuffled = 0
+        if not is_leader:
+            shuffled += sum(len(d) for _, d in my_pieces)
+        node_received = comm.alltoallv_sparse(
+            {leader: my_pieces} if my_pieces else {}
+        )
+
+        # Leaders pre-merge their node's pieces, keeping per-byte origins,
+        # then route the merged runs through the file-ordered piece table to
+        # the global aggregator owning each byte.
+        outgoing: Dict[int, List[Tuple[int, int, bytes]]] = {}
+        if is_leader and node_received:
+            node_runs = merge_origin_runs(
+                [
+                    (src, off, piece)
+                    for src, sent in node_received
+                    for off, piece in sent
+                ],
+                policy=self.policy,
+            )
+            piece_stops = [stop for _, stop, _ in pieces]
+            for run in node_runs:
+                for lo, hi, idx in clip_sorted_runs(
+                    piece_starts, piece_stops, run.offset, run.offset + run.length
+                ):
+                    agg_rank = pieces[idx][2]
+                    outgoing.setdefault(agg_rank, []).append(
+                        (run.origin, lo, run.data[lo - run.offset : hi - run.offset])
+                    )
+                    if agg_rank != region.rank:
+                        shuffled += hi - lo
+
+        # Hop 2 — global combine: aggregators merge the origin-tagged runs
+        # from all leaders; the fixed priority total order makes the result
+        # identical to a flat merge of every rank's raw pieces.
+        agg_received = comm.alltoallv_sparse(outgoing)
+        steps: List[WriteStep] = []
+        buffer = bytearray()
+        if region.rank in agg_set:
+            runs = merge_origin_runs(
+                [run for _, sent in agg_received for run in sent],
+                policy=self.policy,
+            )
+            for run in runs:
+                steps.append(
+                    WriteStep(
+                        buffer_offset=len(buffer),
+                        file_offset=run.offset,
+                        length=run.length,
+                        source=AGGREGATE_PAYLOAD,
+                        writer=run.origin,
+                    )
+                )
+                buffer.extend(run.data)
+
+        # Write phase: identical to the flat strategy — disjoint extents,
+        # fully parallel, provenance per merged run.
+        plan = self._plan(
+            region,
+            phases=[PhasePlan(index=2, steps=steps, direct=True)],
+            reported_phases=3,
+            my_phase=2 if region.rank in agg_set else (1 if is_leader else 0),
+            bytes_surrendered=surrendered[region.rank],
+            extra={
+                "aggregators": float(len(aggregators)),
+                "node_leaders": float(-(-comm.size // self.ranks_per_node)),
+                "shuffled_bytes": float(shuffled),
+            },
+        )
+        return plan, {USER_PAYLOAD: data, AGGREGATE_PAYLOAD: bytes(buffer)}
 
 
 def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:

@@ -104,7 +104,8 @@ class _Mailbox:
 class _Round:
     """One collective rendezvous: deposits, arrival times and waiters."""
 
-    __slots__ = ("ops", "slots", "times", "waiting", "arrived", "latest", "error")
+    __slots__ = ("ops", "slots", "times", "waiting", "arrived", "latest", "error",
+                 "shared")
 
     def __init__(self, size: int) -> None:
         self.ops: List[Any] = [None] * size
@@ -114,6 +115,9 @@ class _Round:
         self.arrived = 0
         self.latest = 0.0
         self.error: Optional[BaseException] = None
+        #: Lazily built result shared by all ranks of the round (the sparse
+        #: all-to-all transpose); built once by the first rank to need it.
+        self.shared: Optional[List[Any]] = None
 
 
 class _CommGroup:
@@ -341,8 +345,7 @@ class Communicator:
                     f"ranks disagree on collective: {sorted(map(str, names))}"
                 )
             round_.latest = max(round_.times)
-            for peer in round_.waiting:
-                task.engine.wake(peer, at=round_.latest)
+            task.engine.wake_all(round_.waiting, at=round_.latest)
         self.clock.advance_to(round_.latest, waiting=True)
         self.clock.advance(g.cost_model.cost(payload))
         if round_.error is not None:
@@ -374,6 +377,18 @@ class Communicator:
         """Gather one object per rank at every rank."""
         round_ = self._collective("allgather", deposit=obj, payload=obj)
         return list(round_.slots)
+
+    def allgather_shared(self, obj: Any) -> List[Any]:
+        """Gather one object per rank; every rank receives the *same* list.
+
+        Identical semantics and virtual-time cost to :meth:`allgather`, but
+        the returned list object is shared by all ranks instead of copied
+        per rank — at tens of thousands of ranks the per-rank copies are
+        ``O(P^2)`` references of pure overhead.  Callers must treat the
+        result as read-only (the usual MPI don't-touch-the-buffer rule).
+        """
+        round_ = self._collective("allgather-shared", deposit=obj, payload=obj)
+        return round_.slots
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
         """Scatter ``objs[i]`` from ``root`` to rank ``i``."""
@@ -418,6 +433,43 @@ class Communicator:
             "alltoallv", deposit=list(objs), payload=_Volume(network_bytes)
         )
         return [round_.slots[src][self._rank] for src in range(self.size)]
+
+    def alltoallv_sparse(self, items: Dict[int, Any]) -> List[Tuple[int, Any]]:
+        """Sparse variable all-to-all: send only to the ranks you name.
+
+        ``items`` maps destination rank to payload (at most one payload per
+        destination).  Returns this rank's received ``(source, payload)``
+        pairs in ascending source order.  Semantically an :meth:`alltoallv`
+        whose unnamed destinations get nothing — but the deposits, the
+        transpose and the results are all sized by the *actual* traffic, not
+        by ``P`` per rank, which is what keeps the aggregation shuffle's
+        bookkeeping sub-quadratic at tens of thousands of ranks (each rank
+        talks to a handful of aggregators, not to everyone).  The virtual-
+        time cost matches :meth:`alltoallv`: the payload bytes this rank
+        sends to *other* ranks (self-delivery is a local copy, free).
+
+        The received pairs are shared structure (built once per round);
+        treat payloads as read-only.
+        """
+        for dest in items:
+            self._check_rank(dest)
+        network_bytes = sum(
+            payload_nbytes(obj) for dest, obj in items.items() if dest != self._rank
+        )
+        round_ = self._collective(
+            "alltoallv-sparse", deposit=items, payload=_Volume(network_bytes)
+        )
+        if round_.shared is None:
+            # First rank back from the rendezvous builds the transpose for
+            # everyone.  Ranks run one at a time, so this is race-free; the
+            # ascending outer loop makes every per-destination list arrive
+            # already sorted by source.
+            received: List[List[Tuple[int, Any]]] = [[] for _ in range(self.size)]
+            for src, sent in enumerate(round_.slots):
+                for dest, payload in sent.items():
+                    received[dest].append((src, payload))
+            round_.shared = received
+        return round_.shared[self._rank]
 
     def reduce(self, obj: Any, op: ReduceOp = SUM, root: int = 0) -> Optional[Any]:
         """Reduce one value per rank onto ``root`` using ``op``."""

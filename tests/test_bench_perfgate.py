@@ -1,0 +1,150 @@
+"""Unit tests for the perf-regression gate's comparison logic.
+
+These pin the two gate correctness fixes: duplicate ``(P, strategy)``
+entries must be a hard error rather than silently shadowing each other,
+and a baseline entry with no measured counterpart must FAIL the gate
+rather than letting a renamed/dropped workload slip through.  The wall
+clock gates (relative factor and absolute per-op budget) are covered
+alongside.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.perfgate import (
+    DEFAULT_WALL_BUDGET_PER_OP,
+    DEFAULT_WALL_FACTOR,
+    _index,
+    _wall_per_op,
+    check_wall,
+    compare,
+)
+
+
+def entry(P, strategy, makespan, bytes_=1024, wall_seconds=None, ops=None):
+    out = {"P": P, "strategy": strategy, "makespan": makespan, "bytes": bytes_}
+    if wall_seconds is not None:
+        out["wall_seconds"] = wall_seconds
+    if ops is not None:
+        out["ops"] = ops
+    return out
+
+
+def baseline_of(**experiments):
+    return {"tolerance": 0.15, "experiments": dict(experiments)}
+
+
+class TestIndex:
+    def test_indexes_by_p_and_strategy(self):
+        entries = [entry(4, "two-phase", 1.0), entry(4, "locking", 2.0)]
+        assert set(_index(entries)) == {(4, "two-phase"), (4, "locking")}
+
+    def test_duplicate_key_raises(self):
+        # Regression: duplicates used to silently overwrite, so whichever
+        # entry the dict kept could mask a regression in the other.
+        entries = [entry(4, "two-phase", 1.0), entry(4, "two-phase", 9.0)]
+        with pytest.raises(ValueError, match="duplicate perf entry"):
+            _index(entries)
+
+    def test_same_p_or_same_strategy_alone_is_fine(self):
+        entries = [
+            entry(4, "two-phase", 1.0),
+            entry(16, "two-phase", 1.0),
+            entry(16, "locking", 1.0),
+        ]
+        assert len(_index(entries)) == 3
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        entries = [entry(4, "two-phase", 1.0)]
+        assert compare({"e": entries}, baseline_of(e=entries)) == []
+
+    def test_regression_over_tolerance_fails(self):
+        measured = {"e": [entry(4, "two-phase", 1.2)]}
+        problems = compare(measured, baseline_of(e=[entry(4, "two-phase", 1.0)]))
+        assert len(problems) == 1
+        assert "exceeds baseline" in problems[0]
+
+    def test_growth_within_tolerance_passes(self):
+        measured = {"e": [entry(4, "two-phase", 1.1)]}
+        assert compare(measured, baseline_of(e=[entry(4, "two-phase", 1.0)])) == []
+
+    def test_missing_baseline_entry_fails(self):
+        problems = compare({"e": [entry(4, "two-phase", 1.0)]}, baseline_of(e=[]))
+        assert len(problems) == 1
+        assert "no baseline" in problems[0]
+
+    def test_baseline_entry_without_measured_counterpart_fails(self):
+        # Regression: the gate used to only walk measured entries, so
+        # dropping or renaming a gated workload silently passed.
+        baseline = baseline_of(
+            e=[entry(4, "two-phase", 1.0), entry(16, "two-phase", 2.0)]
+        )
+        problems = compare({"e": [entry(4, "two-phase", 1.0)]}, baseline)
+        assert len(problems) == 1
+        assert "no measured counterpart" in problems[0]
+        assert "P=16" in problems[0]
+
+    def test_whole_baseline_experiment_dropped_fails(self):
+        baseline = baseline_of(gone=[entry(4, "two-phase", 1.0)])
+        problems = compare({}, baseline)
+        assert len(problems) == 1
+        assert "gone" in problems[0]
+        assert "no measured counterpart" in problems[0]
+
+    def test_wall_clock_blowup_fails(self):
+        base = [entry(4, "two-phase", 1.0, wall_seconds=0.004, ops=4)]
+        slow = [
+            entry(
+                4,
+                "two-phase",
+                1.0,
+                wall_seconds=0.004 * (DEFAULT_WALL_FACTOR + 1),
+                ops=4,
+            )
+        ]
+        problems = compare({"e": slow}, baseline_of(e=base))
+        assert len(problems) == 1
+        assert "wall clock" in problems[0]
+
+    def test_wall_clock_within_factor_passes(self):
+        base = [entry(4, "two-phase", 1.0, wall_seconds=0.004, ops=4)]
+        ok = [entry(4, "two-phase", 1.0, wall_seconds=0.008, ops=4)]
+        assert compare({"e": ok}, baseline_of(e=base)) == []
+
+    def test_entries_without_wall_fields_skip_wall_gate(self):
+        base = [entry(4, "two-phase", 1.0, wall_seconds=0.004, ops=4)]
+        bare = [entry(4, "two-phase", 1.0)]
+        assert compare({"e": bare}, baseline_of(e=base)) == []
+
+
+class TestCheckWall:
+    def test_within_budget_passes(self):
+        ops = 1000
+        entries = [
+            entry(
+                1000,
+                "two-phase-hier",
+                1.0,
+                wall_seconds=0.5 * DEFAULT_WALL_BUDGET_PER_OP * ops,
+                ops=ops,
+            )
+        ]
+        assert check_wall(entries) == []
+
+    def test_over_budget_fails_with_label(self):
+        entries = [entry(8, "two-phase", 1.0, wall_seconds=1.0, ops=8)]
+        problems = check_wall(entries, budget_per_op=1e-3, experiment="sweep")
+        assert len(problems) == 1
+        assert problems[0].startswith("sweep: ")
+        assert "exceeds" in problems[0]
+
+    def test_entries_without_wall_fields_are_skipped(self):
+        assert check_wall([entry(8, "two-phase", 1.0)]) == []
+
+    def test_wall_per_op(self):
+        assert _wall_per_op(entry(8, "s", 1.0, wall_seconds=0.016, ops=8)) == 0.002
+        assert _wall_per_op(entry(8, "s", 1.0)) is None
+        assert _wall_per_op(entry(8, "s", 1.0, wall_seconds=1.0, ops=0)) is None

@@ -1,0 +1,83 @@
+"""Unit tests for the scatter/assembly helpers of the aggregation layer.
+
+Pins the :func:`repro.core.aggregation.assemble_stream` correctness fix:
+overlapping delivered pieces used to double-count ``filled``, which could
+make a short scatter (part of the request never delivered) look complete.
+Overlaps now raise instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregation import assemble_stream, scatter_pieces
+from repro.core.intervals import IntervalSet
+
+
+class TestAssembleStream:
+    def test_disjoint_pieces_fill_stream(self):
+        # Request [0, 8) at buffer offset 0, delivered as two pieces.
+        pieces = [(0, b"abcd"), (4, b"efgh")]
+        stream, filled = assemble_stream(pieces, [(0, 0, 8)], 8)
+        assert stream == b"abcdefgh"
+        assert filled == 8
+
+    def test_pieces_routed_through_buffer_map(self):
+        # File bytes [10, 14) land at buffer offset 2.
+        stream, filled = assemble_stream([(10, b"wxyz")], [(2, 10, 4)], 8)
+        assert stream == b"\x00\x00wxyz\x00\x00"
+        assert filled == 4
+
+    def test_short_scatter_reports_partial_fill(self):
+        stream, filled = assemble_stream([(0, b"ab")], [(0, 0, 8)], 8)
+        assert stream == b"ab" + b"\x00" * 6
+        assert filled == 2
+
+    def test_overlapping_pieces_raise(self):
+        # Regression: [0, 4) and [2, 6) share bytes [2, 4).  Accepting both
+        # used to count the shared bytes twice in `filled`, so a delivery
+        # of 6 distinct bytes reported 8 and masked the missing [6, 8).
+        pieces = [(0, b"abcd"), (2, b"cdef")]
+        with pytest.raises(ValueError, match="overlapping pieces"):
+            assemble_stream(pieces, [(0, 0, 8)], 8)
+
+    def test_duplicate_piece_raises(self):
+        pieces = [(0, b"abcd"), (0, b"abcd")]
+        with pytest.raises(ValueError, match="overlapping pieces"):
+            assemble_stream(pieces, [(0, 0, 8)], 8)
+
+    def test_adjacent_pieces_are_not_overlapping(self):
+        pieces = [(4, b"efgh"), (0, b"abcd")]  # touching at 4, any order
+        stream, filled = assemble_stream(pieces, [(0, 0, 8)], 8)
+        assert stream == b"abcdefgh"
+        assert filled == 8
+
+    def test_empty_inputs(self):
+        stream, filled = assemble_stream([], [(0, 0, 4)], 4)
+        assert stream == b"\x00" * 4
+        assert filled == 0
+
+
+class TestScatterAssembleRoundtrip:
+    def test_scatter_then_assemble_recovers_request(self):
+        # An aggregator holds file bytes [0, 16) contiguously; two consumers
+        # request interleaved halves.  The scattered pieces are disjoint per
+        # consumer, so assembly accepts them and fills each request exactly.
+        buffer = bytes(range(16))
+        held = [(0, 16, 0)]
+        coverages = [
+            IntervalSet([(0, 4), (8, 12)]),
+            IntervalSet([(4, 8), (12, 16)]),
+        ]
+        sends = scatter_pieces(held, buffer, coverages)
+        for rank, coverage in enumerate(coverages):
+            buffer_map = [
+                (i * 4, off, 4) for i, (off, _) in enumerate(coverage.as_segments())
+            ]
+            stream, filled = assemble_stream(sends[rank], buffer_map, 8)
+            assert filled == 8
+            expected = b"".join(
+                buffer[off : off + length]
+                for off, length in coverage.as_segments()
+            )
+            assert stream == expected

@@ -1,0 +1,110 @@
+"""Engine-equivalence of the bulk-synchronous replay executor.
+
+The whole value of :class:`~repro.core.bulk.BulkWriteExecutor` is that it is
+NOT an approximation: virtual times, file bytes and per-byte provenance must
+equal the engine path bit-for-bit.  These tests pin that equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bulk import BulkWriteExecutor
+from repro.core.executor import AtomicWriteExecutor
+from repro.core.strategies import (
+    HierarchicalTwoPhaseStrategy,
+    LockingStrategy,
+    TwoPhaseStrategy,
+)
+from repro.fs import ParallelFileSystem
+from repro.mpi.cost import CommCostModel
+from repro.patterns.partition import block_block_views, column_wise_views
+from repro.patterns.workloads import rank_pattern_bytes
+from tests.conftest import fast_fs_config
+
+
+def run_both(make_strategy, views, comm_cost=None):
+    """Run the same workload through the engine and the bulk replay."""
+    results = []
+    for executor_cls in (AtomicWriteExecutor, BulkWriteExecutor):
+        fs = ParallelFileSystem(fast_fs_config())
+        executor = executor_cls(
+            fs, make_strategy(), filename="bulk.dat", comm_cost=comm_cost
+        )
+        results.append(
+            executor.run(len(views), lambda rank, P: views[rank], rank_pattern_bytes)
+        )
+    return results
+
+
+def assert_equivalent(engine, bulk):
+    assert bulk.makespan == engine.makespan  # exact float equality, no tolerance
+    assert [c.now for c in bulk.spmd.clocks] == [c.now for c in engine.spmd.clocks]
+    assert bulk.file.store.snapshot() == engine.file.store.snapshot()
+    size = engine.file.store.size
+    assert (
+        bulk.file.store.writers(0, size).tolist()
+        == engine.file.store.writers(0, size).tolist()
+    )
+    for b, e in zip(bulk.outcomes, engine.outcomes):
+        assert (b.rank, b.strategy) == (e.rank, e.strategy)
+        assert b.bytes_requested == e.bytes_requested
+        assert b.bytes_written == e.bytes_written
+        assert b.bytes_surrendered == e.bytes_surrendered
+        assert b.segments_written == e.segments_written
+        assert b.phases == e.phases
+        assert b.my_phase == e.my_phase
+        assert b.start_time == e.start_time
+        assert b.end_time == e.end_time
+        assert b.extra == e.extra
+
+
+STRATEGIES = {
+    "two-phase": lambda: TwoPhaseStrategy(),
+    "two-phase-few-aggs": lambda: TwoPhaseStrategy(num_aggregators=3),
+    "two-phase-hier": lambda: HierarchicalTwoPhaseStrategy(ranks_per_node=3),
+    "two-phase-hier-1agg": lambda: HierarchicalTwoPhaseStrategy(
+        num_aggregators=1, ranks_per_node=4
+    ),
+}
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("strategy", list(STRATEGIES))
+    def test_column_wise(self, strategy):
+        views = column_wise_views(M=8, N=256, P=8, R=4)
+        engine, bulk = run_both(STRATEGIES[strategy], views)
+        assert_equivalent(engine, bulk)
+
+    @pytest.mark.parametrize("strategy", ["two-phase", "two-phase-hier"])
+    def test_block_block(self, strategy):
+        views = block_block_views(M=24, N=24, Pr=3, Pc=3, R=2)
+        engine, bulk = run_both(STRATEGIES[strategy], views)
+        assert_equivalent(engine, bulk)
+
+    def test_nonzero_comm_cost(self):
+        views = column_wise_views(M=8, N=256, P=8, R=4)
+        cost = CommCostModel(latency=30e-6, byte_cost=1e-8)
+        engine, bulk = run_both(STRATEGIES["two-phase-hier"], views, comm_cost=cost)
+        assert_equivalent(engine, bulk)
+
+    def test_large_p(self):
+        """The scale regime the replay exists for, still engine-checked."""
+        views = column_wise_views(M=4, N=1024, P=256, R=2)
+        engine, bulk = run_both(
+            lambda: HierarchicalTwoPhaseStrategy(ranks_per_node=8), views
+        )
+        assert_equivalent(engine, bulk)
+
+
+class TestGuardrails:
+    def test_rejects_non_aggregation_strategy(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        with pytest.raises(TypeError):
+            BulkWriteExecutor(fs, LockingStrategy())
+
+    def test_rejects_bad_nprocs(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        executor = BulkWriteExecutor(fs, TwoPhaseStrategy())
+        with pytest.raises(ValueError):
+            executor.run(0, lambda rank, P: [(0, 4)])

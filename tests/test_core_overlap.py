@@ -165,3 +165,51 @@ class TestOverlapProperties:
         w = build_overlap_matrix(regions)
         overlaps = pairwise_overlap_regions(regions)
         assert set(overlaps) == set(w.edges())
+
+
+class TestLargeScaleEquivalence:
+    """The vectorized sweep vs a naive per-pair reference at P=1024.
+
+    The bisection-sweep overlap analysis is what makes the extended rank
+    sweeps feasible; this pins it, at a scale where the sweep's bulk code
+    paths (global sort, contiguous-run enumeration, grouped clipping) all
+    run on thousands of intervals, against the obvious O(P^2) reference.
+    """
+
+    P = 1024
+
+    @pytest.fixture(scope="class")
+    def regions(self):
+        return regions_from(column_wise_views(M=4, N=2 * self.P, P=self.P, R=2))
+
+    def test_matrix_matches_naive_pairwise(self, regions):
+        w = build_overlap_matrix(regions).matrix
+        coverage = [r.coverage for r in regions]
+        expected = np.zeros((self.P, self.P), dtype=np.bool_)
+        for i in range(self.P):
+            for j in range(i + 1, self.P):
+                if coverage[i].overlaps(coverage[j]):
+                    expected[i, j] = expected[j, i] = True
+        assert np.array_equal(w, expected)
+        # Ghost columns of width 2 on 2-wide columns: each interior rank
+        # overlaps exactly its two neighbours.
+        degrees = w.sum(axis=1)
+        assert degrees[0] == degrees[-1] == 1
+        assert (degrees[1:-1] == 2).all()
+
+    def test_pairwise_regions_match_naive_intersections(self, regions):
+        coverage = [r.coverage for r in regions]
+        overlaps = pairwise_overlap_regions(regions)
+        w = build_overlap_matrix(regions)
+        assert set(overlaps) == set(w.edges())
+        for (i, j), got in overlaps.items():
+            assert got == coverage[i].intersection(coverage[j])
+
+    def test_overlapped_bytes_match_naive_union(self, regions):
+        coverage = [r.coverage for r in regions]
+        claimed = IntervalSet.empty()
+        seen_twice = IntervalSet.empty()
+        for cov in coverage:
+            seen_twice = seen_twice.union(claimed.intersection(cov))
+            claimed = claimed.union(cov)
+        assert overlapped_bytes_total(regions) == seen_twice.total_bytes

@@ -371,6 +371,7 @@ class TestStrategyRegistry:
             "graph-coloring",
             "rank-ordering",
             "two-phase",
+            "two-phase-hier",
         }
         assert "two-phase" in default_registry.atomic_names()
         assert "none" not in default_registry.atomic_names()

@@ -42,6 +42,7 @@ class TestStrategyFactory:
             "graph-coloring",
             "rank-ordering",
             "two-phase",
+            "two-phase-hier",
             "none",
         }
 

@@ -122,4 +122,9 @@ class TestMechanismDiagnostics:
         )
         strategies = {r.strategy for r in table}
         assert "locking" not in strategies
-        assert strategies == {"graph-coloring", "rank-ordering", "two-phase"}
+        assert strategies == {
+            "graph-coloring",
+            "rank-ordering",
+            "two-phase",
+            "two-phase-hier",
+        }
