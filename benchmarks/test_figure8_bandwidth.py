@@ -49,7 +49,7 @@ def test_figure8_bandwidth(benchmark, machine_name):
 
     # Locking is reported only where the platform supports it.
     strategies = {r.strategy for r in table}
-    expected = {"graph-coloring", "rank-ordering", "two-phase", "two-phase-hier"}
+    expected = {"graph-coloring", "rank-ordering", "two-phase", "two-phase-hier", "auto"}
     if machine.supports_locking:
         expected = expected | {"locking"}
     assert strategies == expected

@@ -140,6 +140,14 @@ def run_column_wise_experiment(
     if lm is not None and hasattr(lm, "wait_count"):
         lock_waits = lm.wait_count
     phases = max(o.phases for o in result.outcomes)
+    extra = {"wall_seconds": wall_seconds}
+    selected = None
+    decision = getattr(strat, "last_decision", None)
+    if decision is not None:
+        # The adaptive tuner exposes what it chose; record the concrete
+        # delegate and the derived cb_* hints alongside the measurement.
+        selected = decision.strategy
+        extra.update(decision.hints())
     return ExperimentRecord(
         machine=machine.name,
         file_system=machine.file_system,
@@ -156,7 +164,8 @@ def run_column_wise_experiment(
         phases=phases,
         lock_waits=lock_waits,
         pattern=pattern,
-        extra={"wall_seconds": wall_seconds},
+        extra=extra,
+        selected_strategy=selected,
     )
 
 

@@ -23,7 +23,10 @@ requested I/O volume of the measured operation.  Entries may additionally
 carry ``wall_seconds`` (measured host run time of the point — machine
 dependent, unlike the makespan) and ``ops`` (the simulated operation count,
 ranks × phases), from which the wall-clock perf gate derives the
-per-simulated-op cost.  Like the text report,
+per-simulated-op cost.  Points run under the adaptive ``auto`` strategy also
+record ``selected`` (the concrete delegate the tuner dispatched to) and the
+derived ``cb_nodes`` / ``cb_ppn`` / ``cb_buffer_size`` hints.  Like the text
+report,
 re-recording an experiment replaces its previous entries in place, so the
 file holds exactly one copy of every experiment regardless of how often or
 how partially the benchmarks are re-run.
@@ -72,6 +75,14 @@ def _coerce(entry: Dict) -> Dict:
         out["wall_seconds"] = float(entry["wall_seconds"])
     if entry.get("ops") is not None:
         out["ops"] = int(entry["ops"])
+    # Adaptive-strategy fields are optional: `selected` is the concrete
+    # delegate the `auto` tuner dispatched to, the `cb_*` values the hints it
+    # derived for that point.  Static strategies carry none of them.
+    if entry.get("selected") is not None:
+        out["selected"] = str(entry["selected"])
+    for key in ("cb_nodes", "cb_ppn", "cb_buffer_size"):
+        if entry.get(key) is not None:
+            out[key] = int(entry[key])
     return out
 
 
@@ -89,6 +100,13 @@ def entries_from_records(records: Iterable) -> List[Dict]:
         if wall is not None:
             entry["wall_seconds"] = float(wall)
             entry["ops"] = record.nprocs * max(1, record.phases)
+        selected = getattr(record, "selected_strategy", None)
+        if selected is not None:
+            entry["selected"] = selected
+        for key in ("cb_nodes", "cb_ppn", "cb_buffer_size"):
+            value = getattr(record, "extra", {}).get(key)
+            if value is not None:
+                entry[key] = int(value)
         entries.append(entry)
     return entries
 

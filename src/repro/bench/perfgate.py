@@ -42,9 +42,14 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_WALL_FACTOR",
     "DEFAULT_WALL_BUDGET_PER_OP",
+    "DEFAULT_ADAPTIVE_FACTOR",
+    "ADAPTIVE_PREFIX",
     "measure",
+    "measure_adaptive",
+    "measure_plan_cache",
     "compare",
     "check_wall",
+    "check_adaptive",
     "main",
 ]
 
@@ -63,6 +68,19 @@ DEFAULT_WALL_FACTOR = 5.0
 #: :func:`check_wall` — the budget the extended Section 3.4 sweep must meet
 #: at every point for the 16k–64k rank runs to fit the CI wall budget.
 DEFAULT_WALL_BUDGET_PER_OP = 1e-3
+
+#: The adaptive ``auto`` strategy may not be worse than the best static
+#: strategy by more than this factor at any adaptive-sweep grid point.
+DEFAULT_ADAPTIVE_FACTOR = 1.10
+
+#: Experiment-name prefix :func:`check_adaptive` scans for.
+ADAPTIVE_PREFIX = "perfgate/adaptive/"
+
+#: The ``auto`` warm (plan-cache hit) view-resolution CPU per rank-collective
+#: must undercut the cold resolution cost by at least this factor — measured
+#: host time of exactly the work a hit elides, so the margin is wide (~4-7x
+#: in practice) and robust against scheduler noise.
+DEFAULT_PLAN_CACHE_FACTOR = 0.5
 
 #: The gated workloads: quick, deterministic, all exercising the two-phase
 #: strategy (the performance centrepiece the roadmap tracks).
@@ -98,6 +116,159 @@ def measure() -> Dict[str, List[Dict]]:
         "perfgate/overlap-split": entries_from_records([overlap_record]),
         "perfgate/two-phase-hier-bulk": entries_from_records([hier_record]),
     }
+
+
+def measure_adaptive() -> Dict[str, List[Dict]]:
+    """Run the adaptive-vs-static sweep; one experiment per (machine, pattern).
+
+    Grouping by machine and pattern keeps the ``(P, strategy)`` index keys of
+    :func:`_index` unique within each experiment while letting one sweep
+    cover both partitionings and both lock personalities.
+    """
+    from .adaptive import run_adaptive_sweep
+
+    groups: Dict[str, List] = {}
+    for record in run_adaptive_sweep():
+        name = f"{ADAPTIVE_PREFIX}{record.file_system.lower()}-{record.pattern}"
+        groups.setdefault(name, []).append(record)
+    return {name: entries_from_records(records) for name, records in groups.items()}
+
+
+def check_adaptive(
+    measured: Dict[str, Sequence[Dict]],
+    factor: float = DEFAULT_ADAPTIVE_FACTOR,
+    prefix: str = ADAPTIVE_PREFIX,
+) -> List[str]:
+    """The adaptive gate: problems (empty when it passes).
+
+    Two conditions over every ``prefix`` experiment's grid points:
+
+    * ``auto``'s makespan is within ``factor`` of the best static strategy at
+      **every** point (the tuner never loses badly), and
+    * ``auto`` strictly beats every static at **at least one** point (the
+      derived hints genuinely buy something, they are not just a pass-through
+      to one of the defaults).
+    """
+    problems: List[str] = []
+    points = 0
+    strict_wins = 0
+    for experiment in sorted(measured):
+        if not experiment.startswith(prefix):
+            continue
+        by_p: Dict[int, Dict[str, float]] = {}
+        for entry in measured[experiment]:
+            by_p.setdefault(entry["P"], {})[entry["strategy"]] = entry["makespan"]
+        for P, strategies in sorted(by_p.items()):
+            auto = strategies.get("auto")
+            statics = {
+                name: makespan
+                for name, makespan in strategies.items()
+                if name != "auto"
+            }
+            if auto is None or not statics:
+                problems.append(
+                    f"{experiment}: P={P} lacks an auto or a static measurement"
+                )
+                continue
+            points += 1
+            best_name, best = min(statics.items(), key=lambda item: item[1])
+            if auto > best * factor:
+                problems.append(
+                    f"{experiment}: P={P} auto makespan {auto:.6f}s is worse "
+                    f"than the best static ({best_name}, {best:.6f}s) by more "
+                    f"than {factor - 1.0:.0%}"
+                )
+            if auto < best:
+                strict_wins += 1
+    if points == 0:
+        problems.append(f"adaptive gate: no {prefix}* grid points measured")
+    elif strict_wins == 0:
+        problems.append(
+            "adaptive gate: auto never strictly beat every static strategy "
+            f"at any of the {points} grid points"
+        )
+    return problems
+
+
+def measure_plan_cache(
+    factor: float = DEFAULT_PLAN_CACHE_FACTOR,
+) -> tuple:
+    """The repeated-collective plan-cache experiment and its absolute gates.
+
+    Runs the N-timestep workload twice — ``auto`` with the plan cache on and
+    off — on private file systems, and returns ``(experiments, problems)``:
+
+    * **identity** — the final bytes *and* per-byte writer provenance of the
+      cached run equal the cold run's (a replayed plan must be a pure
+      performance optimisation);
+    * **virtual time** — warm steps are cheaper than the first (cold) step
+      and the cached run's makespan never exceeds the uncached one (the hit
+      claim payload is smaller than the shipped view, never larger);
+    * **wall clock** — the warm per-rank-collective view-resolution CPU is
+      under ``factor`` of the cold one (the work a hit elides, measured
+      directly so simulator overhead cannot drown it).
+    """
+    from ..fs.filesystem import ParallelFileSystem
+    from .adaptive import (
+        REPEATED_POINT,
+        fingerprint_of,
+        repeated_filename,
+        run_repeated_collective,
+    )
+    from .machines import machine_by_name
+
+    machine_name, pattern, P, M, N, steps = REPEATED_POINT
+    machine = machine_by_name(machine_name)
+    problems: List[str] = []
+    records = {}
+    fingerprints = {}
+    for plan_cache in (True, False):
+        label = "auto" if plan_cache else "auto-nocache"
+        fs = ParallelFileSystem(machine.make_fs_config())
+        record = run_repeated_collective(
+            machine, M, N, P, steps, pattern=pattern, plan_cache=plan_cache, fs=fs
+        )
+        records[label] = record
+        fingerprints[label] = fingerprint_of(
+            fs, repeated_filename(machine, M, N, P, label)
+        )
+        if not record.atomic_ok:
+            problems.append(f"plan cache: the {label} run broke MPI atomicity")
+    on, off = records["auto"], records["auto-nocache"]
+    if fingerprints["auto"] != fingerprints["auto-nocache"]:
+        problems.append(
+            "plan cache: cached run's bytes/provenance differ from the cold "
+            "run's — replayed plans are corrupting the outcome"
+        )
+    hits = on.extra.get("plan_hits", 0.0)
+    if hits != float(steps - 1):
+        problems.append(
+            f"plan cache: expected {steps - 1} hits over {steps} steps, "
+            f"observed {hits:.0f}"
+        )
+    if off.extra.get("plan_hits", 0.0) != 0.0:
+        problems.append("plan cache: the plan_cache=false run recorded hits")
+    if on.makespan_seconds > off.makespan_seconds:
+        problems.append(
+            f"plan cache: cached makespan {on.makespan_seconds:.6f}s exceeds "
+            f"the uncached {off.makespan_seconds:.6f}s"
+        )
+    if on.extra["warm_step_seconds"] >= on.extra["first_step_seconds"]:
+        problems.append(
+            f"plan cache: warm steps ({on.extra['warm_step_seconds']:.9f}s) "
+            "are not cheaper than the cold first step "
+            f"({on.extra['first_step_seconds']:.9f}s) in virtual time"
+        )
+    warm_cpu = on.extra.get("resolve_warm_cpu_per_op")
+    cold_cpu = off.extra.get("resolve_cold_cpu_per_op")
+    if warm_cpu is None or cold_cpu is None:
+        problems.append("plan cache: resolution CPU accounting is missing")
+    elif warm_cpu >= cold_cpu * factor:
+        problems.append(
+            f"plan cache: warm resolution {warm_cpu * 1e6:.1f}us/op is not "
+            f"under {factor:g}x the cold {cold_cpu * 1e6:.1f}us/op"
+        )
+    return {"perfgate/plan-cache": entries_from_records([on, off])}, problems
 
 
 def _index(entries: Sequence[Dict]) -> Dict:
@@ -212,10 +383,19 @@ def check_wall(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; exits non-zero on a perf regression."""
+    """CLI entry point; exits non-zero on a perf regression.
+
+    The absolute gates (the adaptive sweep and the plan-cache checks, which
+    need no baseline) always run; ``--update-baseline`` *refuses* to write a
+    new baseline while any absolute gate fails, so a broken working tree can
+    never be enshrined as the new reference.
+    """
     args = list(argv) if argv is not None else sys.argv[1:]
     update = "--update-baseline" in args
     measured = measure()
+    measured.update(measure_adaptive())
+    plan_experiments, absolute_problems = measure_plan_cache()
+    measured.update(plan_experiments)
     for experiment, entries in measured.items():
         record_results(experiment, entries)
         for entry in entries:
@@ -226,7 +406,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"makespan {entry['makespan']:.6f}s ({entry['bytes']} bytes"
                 f"{wall_note})"
             )
+    absolute_problems = absolute_problems + check_adaptive(measured)
+    for problem in absolute_problems:
+        print(f"FAIL: {problem}")
     if update:
+        if absolute_problems:
+            print(
+                "refusing to update the baseline: the working tree fails the "
+                "absolute perf gates above"
+            )
+            return 1
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
         BASELINE_PATH.write_text(
             json.dumps(
@@ -247,7 +436,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"FAIL: no baseline at {BASELINE_PATH}; run with --update-baseline")
         return 1
     baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
-    problems = compare(measured, baseline)
+    problems = absolute_problems + compare(measured, baseline)
     for problem in problems:
         print(f"FAIL: {problem}")
     if problems:

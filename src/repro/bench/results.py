@@ -42,6 +42,10 @@ class ExperimentRecord:
     #: ``"mixed"`` (concurrent writer and reader groups).
     mode: str = "write"
     extra: Dict[str, float] = field(default_factory=dict)
+    #: For the adaptive ``auto`` strategy: the concrete delegate it selected
+    #: for this point (``two-phase``, ``rank-ordering``, ...).  ``None`` for
+    #: static strategies.  The derived ``cb_*`` hints ride in ``extra``.
+    selected_strategy: Optional[str] = None
 
     @property
     def bandwidth_mb_per_s(self) -> float:

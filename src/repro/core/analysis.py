@@ -31,6 +31,7 @@ __all__ = [
     "StrategyEstimate",
     "estimate_column_wise",
     "analyze_regions",
+    "pattern_features",
 ]
 
 
@@ -168,4 +169,84 @@ def analyze_regions(regions: Sequence[FileRegionSet]) -> Dict[str, float]:
         "rank_ordering_bytes": float(remaining),
         "surrendered_bytes": float(resolution.total_surrendered),
         "mean_extent_lock_fraction": float(lock_fraction),
+    }
+
+
+def _uniform_stride(regions: Sequence[FileRegionSet]) -> int:
+    """The common inter-segment stride over all multi-segment views, or 0.
+
+    A view is *uniformly strided* when all its segments have the same length
+    and consecutive segment offsets differ by one constant.  The stride is
+    only meaningful for the classifier when every non-empty view agrees on
+    it (the paper's column-wise and block-block partitionings both do: the
+    stride is the array row length ``N``).
+    """
+    stride = 0
+    for region in regions:
+        segs = region.segments
+        if len(segs) < 2:
+            if segs:
+                return 0  # a single-segment view mixed in: not strided
+            continue
+        lengths = {length for _, length in segs}
+        gaps = {segs[i + 1][0] - segs[i][0] for i in range(len(segs) - 1)}
+        if len(lengths) != 1 or len(gaps) != 1:
+            return 0
+        gap = gaps.pop()
+        if gap <= 0 or (stride and gap != stride):
+            return 0
+        stride = gap
+    return stride
+
+
+def pattern_features(regions: Sequence[FileRegionSet]) -> Dict[str, float]:
+    """Access-pattern features of a set of file views, for the autotuner.
+
+    Feeds :func:`repro.core.autotune.classify_pattern`.  All quantities are
+    computed from the already-exchanged views — no extra communication — and
+    reuse the existing sweep-line overlap analysis:
+
+    ``max_segments`` / ``total_bytes`` / ``extent_bytes``
+        Shape of the request: the worst per-rank fragmentation, the summed
+        requested volume, and the hull ``[min start, max stop)`` of all views.
+    ``stride``
+        The common inter-segment stride when every view is uniformly strided
+        (0 otherwise) — column-wise and block-block partitionings of an
+        ``M x N`` array both report the row length ``N`` here.
+    ``interleave``
+        How many ranks interleave within one stride period: ``P`` divided by
+        the number of distinct period-aligned start groups.  A column-wise
+        partitioning interleaves all ``P`` ranks in every file row
+        (``interleave == P``); a ``Pr x Pc`` block-block partitioning
+        interleaves only the ``Pc`` ranks of one row-block.
+    ``overlapped_bytes``
+        Bytes touched by more than one rank (sweep-line depth >= 2).
+    """
+    nonempty = [r for r in regions if not r.is_empty()]
+    if not nonempty:
+        return {
+            "nprocs": float(len(regions)),
+            "max_segments": 0.0,
+            "total_bytes": 0.0,
+            "extent_bytes": 0.0,
+            "stride": 0.0,
+            "interleave": 1.0,
+            "overlapped_bytes": 0.0,
+        }
+    start = min(int(r.coverage.starts[0]) for r in nonempty)
+    stop = max(int(r.coverage.stops[-1]) for r in nonempty)
+    stride = _uniform_stride(nonempty)
+    if stride:
+        groups = {(int(r.coverage.starts[0]) - start) // stride for r in nonempty}
+        interleave = len(nonempty) / max(1, len(groups))
+    else:
+        interleave = 1.0
+    return {
+        "nprocs": float(len(regions)),
+        "max_segments": float(max(r.num_segments for r in nonempty)),
+        "total_bytes": float(sum(r.total_bytes for r in nonempty)),
+        "extent_bytes": float(stop - start),
+        "stride": float(stride),
+        "interleave": float(interleave),
+        "overlapped_bytes": float(overlapped_bytes_total(regions)),
     }

@@ -39,7 +39,7 @@ from ..fs.filesystem import ParallelFileSystem
 from ..mpi.clock import VirtualClock
 from ..mpi.cost import CommCostModel, _Volume, payload_nbytes
 from ..mpi.runtime import SPMDResult
-from .aggregation import merge_origin_runs, merge_pieces
+from .aggregation import merge_origin_runs, merge_pieces, route_stream
 from .executor import ConcurrentWriteResult, default_data_factory
 from .intervals import clip_sorted_runs
 from .regions import FileRegionSet
@@ -86,7 +86,12 @@ class BulkWriteExecutor:
         filename: str = "shared.dat",
         comm_cost: Optional[CommCostModel] = None,
     ) -> None:
-        if not isinstance(strategy, TwoPhaseStrategy):
+        # The adaptive strategy is accepted too: it resolves to a two-phase
+        # delegate at run time (and raises TypeError there if its decision is
+        # not an aggregation schedule).
+        if not isinstance(strategy, TwoPhaseStrategy) and not hasattr(
+            strategy, "resolve_static"
+        ):
             raise TypeError(
                 "BulkWriteExecutor replays aggregation schedules only; "
                 f"{type(strategy).__name__} must run on the engine "
@@ -96,6 +101,9 @@ class BulkWriteExecutor:
         self.strategy = strategy
         self.filename = filename
         self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+        bind = getattr(strategy, "bind_context", None)
+        if bind is not None:
+            bind(fs, filename)
 
     def run(
         self,
@@ -116,16 +124,30 @@ class BulkWriteExecutor:
         datas = [data_factory(rank, r.total_bytes) for rank, r in enumerate(regions)]
         clocks = [VirtualClock() for _ in range(nprocs)]
 
-        # Stage 1 — view exchange: one allgather of the segment tuples.
-        _rendezvous(
-            clocks, [self.comm_cost.cost(r.segments) for r in regions]
-        )
+        # Resolve the adaptive strategy to its tuned aggregation delegate.
+        # The replay driver already holds every rank's regions, so the
+        # classification needs no collective; only the payload cost differs.
+        resolver = getattr(self.strategy, "resolve_static", None)
+        delegate = resolver(nprocs, regions) if resolver is not None else self.strategy
+
+        # Stage 1 — view exchange: one allgather of the segment tuples (the
+        # adaptive strategy ships a tagged flattened view of 1 + 2*segments
+        # elements instead, costed honestly).
+        if resolver is not None:
+            exchange_costs = [
+                self.comm_cost.cost(_Volume(1 + 2 * r.num_segments)) for r in regions
+            ]
+        else:
+            exchange_costs = [self.comm_cost.cost(r.segments) for r in regions]
+        _rendezvous(clocks, exchange_costs)
 
         # Stages 2+3 — analysis and schedule, replayed for all ranks at once.
-        if isinstance(self.strategy, HierarchicalTwoPhaseStrategy):
-            schedules = self._schedule_hierarchical(nprocs, regions, datas, clocks)
+        if isinstance(delegate, HierarchicalTwoPhaseStrategy):
+            schedules = self._schedule_hierarchical(
+                nprocs, regions, datas, clocks, delegate
+            )
         else:
-            schedules = self._schedule_flat(nprocs, regions, datas, clocks)
+            schedules = self._schedule_flat(nprocs, regions, datas, clocks, delegate)
 
         # Stage 4 — file I/O in discrete-event order: repeatedly run one
         # write step for the rank holding the minimal (clock, rank) key,
@@ -188,9 +210,9 @@ class BulkWriteExecutor:
         regions: List[FileRegionSet],
         datas: List[bytes],
         clocks: List[VirtualClock],
+        strategy: TwoPhaseStrategy,
     ) -> List[_RankSchedule]:
         """Replay :meth:`TwoPhaseStrategy.schedule` for every rank."""
-        strategy = self.strategy
         agg_set, aggregators, piece_starts, pieces, surrendered = strategy._negotiate(
             nprocs, regions
         )
@@ -204,15 +226,15 @@ class BulkWriteExecutor:
         shuffled = [0] * nprocs
         for rank in range(nprocs):
             out: Dict[int, List[Tuple[int, bytes]]] = {}
-            data = datas[rank]
-            for buf_off, file_off, length in regions[rank].buffer_map():
-                for lo, hi, idx in clip_sorted_runs(
-                    piece_starts, piece_stops, file_off, file_off + length
-                ):
-                    out.setdefault(pieces[idx][2], []).append(
-                        (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
-                    )
-                    shuffled[rank] += hi - lo
+            for agg_rank, lo, chunk in route_stream(
+                regions[rank].buffer_map(),
+                datas[rank],
+                piece_starts,
+                piece_stops,
+                pieces,
+            ):
+                out.setdefault(agg_rank, []).append((lo, chunk))
+                shuffled[rank] += len(chunk)
             sendbufs.append(out)
         _rendezvous(
             clocks,
@@ -259,9 +281,9 @@ class BulkWriteExecutor:
         regions: List[FileRegionSet],
         datas: List[bytes],
         clocks: List[VirtualClock],
+        strategy: HierarchicalTwoPhaseStrategy,
     ) -> List[_RankSchedule]:
         """Replay :meth:`HierarchicalTwoPhaseStrategy.schedule` for every rank."""
-        strategy = self.strategy
         agg_set, aggregators, piece_starts, pieces, surrendered = strategy._negotiate(
             nprocs, regions
         )

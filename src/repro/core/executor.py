@@ -112,6 +112,11 @@ class AtomicWriteExecutor:
         self.strategy = strategy
         self.filename = filename
         self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+        # Context-aware strategies (the adaptive tuner) learn the machine
+        # model and per-file tuning record from the file they will drive.
+        bind = getattr(strategy, "bind_context", None)
+        if bind is not None:
+            bind(fs, filename)
 
     def run(
         self,
@@ -225,6 +230,9 @@ class CollectiveReadExecutor:
         self.strategy = strategy
         self.filename = filename
         self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+        bind = getattr(strategy, "bind_context", None)
+        if bind is not None:
+            bind(fs, filename)
 
     def run(self, nprocs: int, view_factory: ViewFactory) -> ConcurrentReadResult:
         """Execute the collective read on ``nprocs`` ranks."""

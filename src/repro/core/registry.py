@@ -22,6 +22,12 @@ the Figure 8 grid defaults and the CI smoke benchmark.  (The legacy
 ``STRATEGY_NAMES`` tuple is frozen at import of ``repro.core.strategies``
 and lists only the built-ins; query ``default_registry.names()`` for the
 live set.)
+
+Registration order matters only for that frozen tuple: later-registered
+entries such as the adaptive ``auto`` tuner (:mod:`repro.core.autotune`),
+which dispatches to the built-ins rather than implementing its own data
+movement, still appear in ``default_registry.names()``, the Info-hint
+resolution, and the benchmark grids.
 """
 
 from __future__ import annotations

@@ -82,6 +82,7 @@ from .aggregation import (
     merge_origin_runs,
     merge_pieces,
     partition_domain,
+    route_stream,
     scatter_pieces,
 )
 from .coloring import ColoringResult
@@ -789,15 +790,11 @@ class TwoPhaseStrategy(PipelineStrategy):
         sendbufs: List[List[Tuple[int, bytes]]] = [[] for _ in range(comm.size)]
         shuffled = 0
         piece_stops = [stop for _, stop, _ in pieces]
-        for buf_off, file_off, length in region.buffer_map():
-            for lo, hi, idx in clip_sorted_runs(
-                piece_starts, piece_stops, file_off, file_off + length
-            ):
-                agg_rank = pieces[idx][2]
-                sendbufs[agg_rank].append(
-                    (lo, data[buf_off + (lo - file_off) : buf_off + (hi - file_off)])
-                )
-                shuffled += hi - lo
+        for agg_rank, lo, chunk in route_stream(
+            region.buffer_map(), data, piece_starts, piece_stops, pieces
+        ):
+            sendbufs[agg_rank].append((lo, chunk))
+            shuffled += len(chunk)
         received = comm.alltoallv(sendbufs)
 
         # Merge (aggregators only): later-priority data overwrites earlier.
@@ -1069,3 +1066,9 @@ def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:
 #: backwards compatibility).  Strategies registered later do NOT appear here;
 #: query :data:`repro.core.registry.default_registry` for the live set.
 STRATEGY_NAMES: Tuple[str, ...] = default_registry.names()
+
+# Registers the adaptive "auto" strategy (deliberately after the freeze
+# above: "auto" is a tuner over these strategies, not one of the paper's
+# fixed strategies).  Imported last to keep the dependency one-way at class
+# definition time.
+from . import autotune as _autotune  # noqa: E402,F401  (registration side effect)

@@ -57,6 +57,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core import autotune
 from ..core.engine import TaskCancelled, current_task
 from ..core.regions import FileRegionSet
 from ..core.registry import default_registry
@@ -211,8 +212,14 @@ class MPIFile:
                 self.info.set(key, info.get(key))
             self._auto_strategy = None  # hints changed: re-derive the strategy
             self._apply_cache_hints()
+            # Hints changed: the adaptive tuner must drop its cached plans
+            # *and* decisions for this file (idempotent across ranks).
+            autotune.notify_hint_change(self.fs, self.filename)
         self._view = FileView.create(disp, etype, filetype if filetype is not None else etype)
         self._position = 0
+        # A cached collective plan must never be replayed against a changed
+        # view; conservatively invalidate on every Set_view.
+        autotune.notify_view_change(self.fs, self.filename)
 
     set_view = Set_view
 
@@ -239,13 +246,14 @@ class MPIFile:
     def _apply_cache_hints(self) -> None:
         """Apply the read-ahead hints to both of this rank's cache policies."""
         updates = {}
-        toggle = self.info.get("read_ahead")
-        if toggle is not None:
-            if toggle.strip().lower() in ("false", "0", "no", "disable", "disabled"):
-                updates["read_ahead_pages"] = 0
-            else:
-                configured = self.fs.config.cache_policy.read_ahead_pages
-                updates["read_ahead_pages"] = configured if configured > 0 else 2
+        # Tri-state toggle: absent or unparseable leaves the configured
+        # policy alone (garbage is never treated as truthy).
+        toggle = self.info.get_bool("read_ahead", None)
+        if toggle is False:
+            updates["read_ahead_pages"] = 0
+        elif toggle is True:
+            configured = self.fs.config.cache_policy.read_ahead_pages
+            updates["read_ahead_pages"] = configured if configured > 0 else 2
         pages = self.info.get_int("read_ahead_pages", -1)
         if pages >= 0:
             updates["read_ahead_pages"] = pages
@@ -313,6 +321,9 @@ class MPIFile:
             if not hint:
                 hint = "locking" if self.fs.config.supports_locking() else "rank-ordering"
             self._auto_strategy = default_registry.create_from_info(hint, self.info)
+            bind = getattr(self._auto_strategy, "bind_context", None)
+            if bind is not None:
+                bind(self.fs, self.filename)
         return self._auto_strategy
 
     def _collective_strategy(self) -> AtomicityStrategy:

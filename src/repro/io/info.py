@@ -9,20 +9,31 @@ client cache; unknown hints are ignored, as MPI requires.
 ``atomicity_strategy``
     Which strategy :class:`repro.io.file.MPIFile` uses in atomic mode
     (``"locking"``, ``"graph-coloring"``, ``"rank-ordering"``,
-    ``"two-phase"``, or any later-registered name).  When absent, the file
-    picks the file system's best supported default (locking where available,
-    otherwise rank ordering).
+    ``"two-phase"``, ``"auto"``, or any later-registered name).  When
+    absent, the file picks the file system's best supported default
+    (locking where available, otherwise rank ordering).  ``"auto"`` engages
+    the :mod:`repro.core.autotune` hint engine, which classifies the access
+    pattern at the first collective and derives ``cb_nodes``/``cb_ppn``/
+    ``cb_buffer_size`` itself.
 ``cb_nodes``
     Number of two-phase aggregators (ROMIO's collective-buffering node
     count).  Default: every rank aggregates.
 ``cb_buffer_size``
     Per-aggregator file-domain cap in bytes; when ``cb_nodes`` is absent the
     two-phase election sizes itself as ``ceil(domain / cb_buffer_size)``.
+``cb_ppn``
+    Ranks per node for the hierarchical two-phase strategy (node-leader
+    fan-in width).
+``plan_cache``
+    Boolean toggle (default ``"true"``) for the ``auto`` strategy's
+    cross-collective plan cache; set ``"false"`` to force every collective
+    through the cold exchange/analysis path.
 ``striping_unit``
     Overrides the file's stripe size (bytes) at open.
 ``read_ahead`` / ``read_ahead_pages``
-    Client-cache read-ahead toggle (``"true"``/``"false"``) and explicit
-    page count; applied to the rank's cache policies at open/``Set_view``.
+    Client-cache read-ahead toggle (boolean, see :meth:`Info.get_bool`) and
+    explicit page count; applied to the rank's cache policies at
+    open/``Set_view``.
 """
 
 from __future__ import annotations
@@ -76,6 +87,28 @@ class Info:
             return int(raw)
         except ValueError:
             return default
+
+    #: Spellings accepted by :meth:`get_bool` (ROMIO accepts the same set).
+    _TRUE_WORDS = frozenset({"true", "1", "yes", "on", "enable", "enabled"})
+    _FALSE_WORDS = frozenset({"false", "0", "no", "off", "disable", "disabled"})
+
+    def get_bool(self, key: str, default: Optional[bool] = False) -> Optional[bool]:
+        """Fetch a boolean hint (``default`` on absence *or* garbage).
+
+        Unlike ad-hoc string compares at call sites, an unparseable value is
+        never treated as truthy: anything outside the recognised true/false
+        spellings falls back to ``default``.  Pass ``default=None`` to
+        distinguish "absent or garbage" from an explicit setting.
+        """
+        raw = self.get(key)
+        if raw is None:
+            return default
+        word = raw.strip().lower()
+        if word in self._TRUE_WORDS:
+            return True
+        if word in self._FALSE_WORDS:
+            return False
+        return default
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Info({self._data!r})"

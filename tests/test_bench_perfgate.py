@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import pytest
 
+import repro.bench.perfgate as perfgate
 from repro.bench.perfgate import (
+    ADAPTIVE_PREFIX,
     DEFAULT_WALL_BUDGET_PER_OP,
     DEFAULT_WALL_FACTOR,
     _index,
     _wall_per_op,
+    check_adaptive,
     check_wall,
     compare,
 )
@@ -148,3 +151,106 @@ class TestCheckWall:
         assert _wall_per_op(entry(8, "s", 1.0, wall_seconds=0.016, ops=8)) == 0.002
         assert _wall_per_op(entry(8, "s", 1.0)) is None
         assert _wall_per_op(entry(8, "s", 1.0, wall_seconds=1.0, ops=0)) is None
+
+
+EXP = ADAPTIVE_PREFIX + "testfs-column-wise"
+
+
+def adaptive_point(auto, static, P=4):
+    return [entry(P, "auto", auto), entry(P, "two-phase", static)]
+
+
+class TestCheckAdaptive:
+    """The absolute auto-vs-static gate (no baseline involved)."""
+
+    def test_auto_beating_the_static_passes(self):
+        assert check_adaptive({EXP: adaptive_point(auto=0.9, static=1.0)}) == []
+
+    def test_auto_worse_than_factor_fails(self):
+        problems = check_adaptive({EXP: adaptive_point(auto=1.2, static=1.0)})
+        assert any("worse than the best static" in p for p in problems)
+
+    def test_auto_within_factor_but_never_winning_fails(self):
+        # Passes every per-point bound yet never strictly wins: the tuner is
+        # a pass-through, which the gate must refuse to certify.
+        problems = check_adaptive({EXP: adaptive_point(auto=1.0, static=1.0)})
+        assert len(problems) == 1
+        assert "never strictly beat" in problems[0]
+
+    def test_best_static_is_the_reference(self):
+        # auto loses to the best static by >10% even though it beats another.
+        entries = adaptive_point(auto=1.2, static=1.0) + [entry(4, "locking", 2.0)]
+        problems = check_adaptive({EXP: entries})
+        assert any("two-phase" in p for p in problems)
+
+    def test_missing_auto_measurement_fails(self):
+        problems = check_adaptive({EXP: [entry(4, "two-phase", 1.0)]})
+        assert any("lacks an auto or a static" in p for p in problems)
+
+    def test_no_grid_points_fails(self):
+        # Experiments outside the adaptive prefix are ignored entirely, so
+        # nothing was measured and the gate says so.
+        problems = check_adaptive({"perfgate/unrelated": adaptive_point(0.9, 1.0)})
+        assert problems == [
+            f"adaptive gate: no {ADAPTIVE_PREFIX}* grid points measured"
+        ]
+
+    def test_one_win_covers_many_points(self):
+        measured = {
+            EXP: adaptive_point(auto=0.9, static=1.0, P=4)
+            + adaptive_point(auto=1.0, static=1.0, P=16)
+        }
+        assert check_adaptive(measured) == []
+
+
+class TestUpdateBaselineRefusal:
+    """``--update-baseline`` must not enshrine a failing working tree."""
+
+    def _patch(self, monkeypatch, tmp_path, adaptive, plan_problems):
+        baseline = tmp_path / "perf_baseline.json"
+        monkeypatch.setattr(perfgate, "BASELINE_PATH", baseline)
+        monkeypatch.setattr(perfgate, "record_results", lambda *a, **k: None)
+        monkeypatch.setattr(
+            perfgate, "measure", lambda: {"e": [entry(4, "two-phase", 1.0)]}
+        )
+        monkeypatch.setattr(perfgate, "measure_adaptive", lambda: dict(adaptive))
+        monkeypatch.setattr(
+            perfgate, "measure_plan_cache", lambda: ({}, list(plan_problems))
+        )
+        return baseline
+
+    def test_passing_tree_updates_then_gates_green(self, monkeypatch, tmp_path):
+        baseline = self._patch(
+            monkeypatch, tmp_path, {EXP: adaptive_point(0.9, 1.0)}, []
+        )
+        assert perfgate.main(["--update-baseline"]) == 0
+        assert baseline.exists()
+        assert perfgate.main([]) == 0
+
+    def test_adaptive_failure_refuses_to_write(self, monkeypatch, tmp_path):
+        baseline = self._patch(
+            monkeypatch, tmp_path, {EXP: adaptive_point(1.5, 1.0)}, []
+        )
+        assert perfgate.main(["--update-baseline"]) == 1
+        assert not baseline.exists()
+
+    def test_plan_cache_failure_refuses_to_write(self, monkeypatch, tmp_path):
+        baseline = self._patch(
+            monkeypatch,
+            tmp_path,
+            {EXP: adaptive_point(0.9, 1.0)},
+            ["plan cache: synthetic failure"],
+        )
+        assert perfgate.main(["--update-baseline"]) == 1
+        assert not baseline.exists()
+
+    def test_absolute_problems_also_fail_the_normal_gate(self, monkeypatch, tmp_path):
+        baseline = self._patch(
+            monkeypatch, tmp_path, {EXP: adaptive_point(0.9, 1.0)}, []
+        )
+        assert perfgate.main(["--update-baseline"]) == 0
+        monkeypatch.setattr(
+            perfgate, "measure_plan_cache", lambda: ({}, ["plan cache: regressed"])
+        )
+        assert perfgate.main([]) == 1
+        assert baseline.exists()  # the failure never rewrites the reference

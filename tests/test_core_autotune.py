@@ -1,0 +1,322 @@
+"""Tests for the pattern-aware adaptive collective I/O layer (``auto``).
+
+Covers the three layers of :mod:`repro.core.autotune` — the pattern
+classifier, the self-tuning hint engine, and the cross-collective plan
+cache — plus the ``Info.get_bool`` accessor the adaptive hints parse with.
+The plan-cache tests pin the safety contract: cached replays must produce
+byte- and provenance-identical files, and any ``Set_view``/hint change must
+invalidate the cached plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import autotune
+from repro.core.autotune import (
+    AutoStrategy,
+    HintEngine,
+    MachineModel,
+    PatternSignature,
+    classify_pattern,
+    peek_record,
+    record_for,
+)
+from repro.core.regions import build_region_sets
+from repro.core.strategies import TwoPhaseStrategy
+from repro.datatypes import CHAR, subarray
+from repro.fs import ParallelFileSystem
+from repro.fs.filesystem import LockProtocol
+from repro.io import Info, MPIFile
+from repro.mpi import run_spmd
+from repro.patterns.partition import (
+    block_block_spec,
+    column_wise_spec,
+    process_grid,
+    row_wise_spec,
+    views_for_pattern,
+)
+from repro.verify.atomicity import check_coverage, check_mpi_atomicity
+from tests.conftest import fast_fs_config
+
+M, N, P = 16, 64, 4
+
+
+def regions_for(pattern: str, R: int = 0):
+    return build_region_sets(views_for_pattern(pattern, M, N, P, R))
+
+
+# -- layer 1: the pattern classifier ------------------------------------------
+
+
+class TestClassifier:
+    def test_column_wise_is_strided(self):
+        # Every rank owns a column block, all P ranks interleave per row.
+        sig = classify_pattern(regions_for("column-wise"))
+        assert sig.kind == "strided"
+        assert sig.nprocs == P
+
+    def test_row_wise_is_contiguous(self):
+        # A row block is one contiguous byte run per rank.
+        sig = classify_pattern(regions_for("row-wise"))
+        assert sig.kind == "contiguous"
+
+    def test_block_block_is_block_block(self):
+        # On the 2x2 grid only Pc=2 of the 4 ranks interleave per row.
+        assert process_grid(P) == (2, 2)
+        sig = classify_pattern(regions_for("block-block"))
+        assert sig.kind == "block-block"
+
+    def test_irregular_views_are_irregular(self):
+        views = [
+            [(0, 10), (50, 7), (90, 3)],
+            [(200, 3), (220, 11), (400, 5)],
+        ]
+        sig = classify_pattern(build_region_sets(views))
+        assert sig.kind == "irregular"
+
+    def test_overlap_is_seen(self):
+        # Ghost columns overlap neighbouring ranks; the disjoint split doesn't.
+        disjoint = classify_pattern(regions_for("column-wise", R=0))
+        ghosted = classify_pattern(regions_for("column-wise", R=4))
+        assert disjoint.overlap_bucket == 0
+        assert ghosted.overlap_bucket > 0
+
+    def test_signature_is_hashable_and_position_independent(self):
+        base = [[(0, 8), (64, 8)], [(16, 8), (80, 8)]]
+        shifted = [[(1024 + o, n) for (o, n) in view] for view in base]
+        a = classify_pattern(build_region_sets(base))
+        b = classify_pattern(build_region_sets(shifted))
+        assert a == b
+        assert len({a, b}) == 1  # usable as a hint-cache key
+
+
+# -- layer 2: the hint engine -------------------------------------------------
+
+
+def signature(kind: str, nprocs: int = P) -> PatternSignature:
+    return PatternSignature(
+        kind=kind,
+        nprocs=nprocs,
+        segments_bucket=5,
+        segment_bucket=5,
+        domain_bucket=20,
+        overlap_bucket=0,
+        interleave_bucket=2,
+    )
+
+
+class TestHintEngine:
+    machine = MachineModel(supports_locking=True, num_servers=8, stripe_size=64 * 1024)
+
+    def test_contiguous_gets_rank_ordering(self):
+        decision = HintEngine().decide(signature("contiguous"), self.machine)
+        assert decision.strategy == "rank-ordering"
+        assert decision.hints() == {}
+
+    def test_interleaved_gets_two_phase_with_derived_hints(self):
+        decision = HintEngine().decide(signature("strided"), self.machine)
+        assert decision.strategy == "two-phase"
+        # Half the server count, capped by P.
+        assert decision.cb_nodes == self.machine.num_servers // 2
+        assert decision.cb_buffer_size % self.machine.stripe_size == 0
+
+    def test_cb_nodes_capped_by_nprocs(self):
+        decision = HintEngine().decide(signature("strided", nprocs=2), self.machine)
+        assert decision.cb_nodes == 2
+
+    def test_large_p_goes_hierarchical(self):
+        decision = HintEngine().decide(signature("strided", nprocs=128), self.machine)
+        assert decision.strategy == "two-phase-hier"
+        assert decision.cb_ppn == HintEngine.default_ppn
+        assert decision.cb_nodes >= 1
+
+    def test_locking_is_never_proposed(self):
+        engine = HintEngine()
+        for kind in ("contiguous", "strided", "block-block", "irregular"):
+            for nprocs in (2, P, 128):
+                decision = engine.decide(signature(kind, nprocs), self.machine)
+                assert decision.strategy != "locking"
+
+    def test_delegate_is_shared(self):
+        decision = HintEngine().decide(signature("strided"), self.machine)
+        assert decision.delegate() is decision.delegate()
+
+
+# -- the Info.get_bool accessor (what `auto`'s toggles parse with) ------------
+
+
+class TestInfoGetBool:
+    def test_true_spellings(self):
+        for word in ("true", "1", "YES", " on ", "Enabled"):
+            assert Info({"k": word}).get_bool("k") is True
+
+    def test_false_spellings(self):
+        for word in ("false", "0", "No", "off", "disabled"):
+            assert Info({"k": word}).get_bool("k", True) is False
+
+    def test_garbage_falls_back_to_default(self):
+        assert Info({"k": "banana"}).get_bool("k") is False
+        assert Info({"k": "banana"}).get_bool("k", True) is True
+
+    def test_absent_falls_back_to_default(self):
+        assert Info().get_bool("k") is False
+        assert Info().get_bool("k", True) is True
+
+    def test_none_default_is_tri_state(self):
+        assert Info().get_bool("k", None) is None
+        assert Info({"k": "banana"}).get_bool("k", None) is None
+        assert Info({"k": "on"}).get_bool("k", None) is True
+
+
+# -- layer 3: the adaptive strategy end to end --------------------------------
+
+
+def filetype_for(pattern: str, rank: int, R: int = 0):
+    if pattern == "column-wise":
+        spec = column_wise_spec(M, N, P, rank, R)
+    elif pattern == "row-wise":
+        spec = row_wise_spec(M, N, P, rank, R)
+    else:
+        Pr, Pc = process_grid(P)
+        spec = block_block_spec(M, N, Pr, Pc, rank, R)
+    ft = subarray(list(spec.sizes), list(spec.subsizes), list(spec.starts), CHAR)
+    return ft.commit(), spec.total_bytes
+
+
+def write_steps(fs, filename, steps=1, pattern="column-wise", info=None, reopen=False):
+    """Run ``steps`` atomic collective writes under the ``auto`` strategy."""
+    info = info if info is not None else Info({"atomicity_strategy": "auto"})
+
+    def fn(comm):
+        outcomes = []
+        f = None
+        for step in range(steps):
+            if f is None:
+                f = MPIFile.Open(comm, filename, fs, info=info)
+                f.Set_atomicity(True)
+                ft, nbytes = filetype_for(pattern, comm.rank)
+                f.Set_view(0, CHAR, ft)
+            data = bytes([ord("A") + (comm.rank + step) % 26]) * nbytes
+            f.Seek(0)  # rewind: every step rewrites the same view
+            outcomes.append(f.Write_all(data))
+            if reopen:
+                f.Close()
+                f = None
+        if f is not None:
+            f.Close()
+        return outcomes
+
+    return run_spmd(fn, P)
+
+
+class TestAutoEndToEnd:
+    def test_auto_roundtrip_is_atomic(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = write_steps(fs, "auto.dat")
+        regions = regions_for("column-wise")
+        store = fs.lookup("auto.dat").store
+        assert check_mpi_atomicity(store, regions).ok
+        assert check_coverage(store, regions).ok
+        for outcomes in result.returns:
+            assert all(o.strategy == "auto" for o in outcomes)
+
+    def test_auto_runs_on_lockless_fs(self):
+        fs = ParallelFileSystem(fast_fs_config(LockProtocol.NONE))
+        write_steps(fs, "auto.dat")
+        assert check_mpi_atomicity(
+            fs.lookup("auto.dat").store, regions_for("column-wise")
+        ).ok
+
+    def test_repeated_collectives_hit_the_plan_cache(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        write_steps(fs, "steps.dat", steps=4)
+        record = peek_record(fs, "steps.dat")
+        assert record is not None
+        assert record.misses == 1
+        assert record.hits == 3
+
+    def test_plan_cache_toggle_via_info(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        info = Info({"atomicity_strategy": "auto", "plan_cache": "false"})
+        write_steps(fs, "nocache.dat", steps=3, info=info)
+        record = peek_record(fs, "nocache.dat")
+        assert record.hits == 0
+        assert record.misses == 3
+
+    def test_hint_cache_survives_close_open(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        write_steps(fs, "persist.dat", steps=2, reopen=True)
+        record = peek_record(fs, "persist.dat")
+        assert record is record_for(fs, "persist.dat")
+        # Both collectives were cold (the reopen's Set_view drops the plan),
+        # but the second reused the persisted tuning decision object.
+        assert record.misses == 2
+        assert len(record.decisions) == 1
+        (decision,) = record.decisions.values()
+        assert decision.strategy == "two-phase"
+
+    def test_records_are_per_filesystem(self):
+        fs_a = ParallelFileSystem(fast_fs_config())
+        fs_b = ParallelFileSystem(fast_fs_config())
+        write_steps(fs_a, "same.dat")
+        write_steps(fs_b, "same.dat")
+        assert peek_record(fs_a, "same.dat") is not peek_record(fs_b, "same.dat")
+
+    def test_set_view_invalidates_the_plan(self):
+        fs = ParallelFileSystem(fast_fs_config())
+
+        def fn(comm):
+            f = MPIFile.Open(comm, "inval.dat", fs, info=Info({"atomicity_strategy": "auto"}))
+            f.Set_atomicity(True)
+            ft, nbytes = filetype_for("column-wise", comm.rank)
+            data = bytes([ord("A") + comm.rank]) * nbytes
+            f.Set_view(0, CHAR, ft)
+            f.Write_all(data)
+            f.Set_view(0, CHAR, ft)  # same view, but the plan must still drop
+            f.Write_all(data)
+            f.Close()
+
+        run_spmd(fn, P)
+        record = peek_record(fs, "inval.dat")
+        assert record.hits == 0
+        assert record.misses == 2
+
+    def test_notify_invalidation_semantics(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        write_steps(fs, "notify.dat")
+        record = peek_record(fs, "notify.dat")
+        assert record.entry is not None and record.decisions
+        autotune.notify_view_change(fs, "notify.dat")
+        assert record.entry is None  # plan dropped...
+        assert record.decisions  # ...but the hint cache survives a view change
+        write_steps(fs, "notify2.dat")
+        record2 = peek_record(fs, "notify2.dat")
+        autotune.notify_hint_change(fs, "notify2.dat")
+        assert record2.entry is None
+        assert record2.decisions == {}  # a hint change clears both layers
+
+    def test_cached_replay_is_byte_and_provenance_identical(self):
+        files = {}
+        for label, plan_cache in (("on", "true"), ("off", "false")):
+            fs = ParallelFileSystem(fast_fs_config())
+            info = Info({"atomicity_strategy": "auto", "plan_cache": plan_cache})
+            write_steps(fs, "ident.dat", steps=3, info=info)
+            store = fs.lookup("ident.dat").store
+            files[label] = (store.read(0, store.size), list(store.writers(0, store.size)))
+        assert files["on"][0] == files["off"][0]
+        assert files["on"][1] == files["off"][1]
+
+
+class TestBulkResolveStatic:
+    def test_interleaved_pattern_yields_two_phase(self):
+        strat = AutoStrategy()
+        delegate = strat.resolve_static(P, regions_for("column-wise"))
+        assert isinstance(delegate, TwoPhaseStrategy)
+        assert strat.last_decision is not None
+        assert strat.last_decision.strategy == "two-phase"
+
+    def test_contiguous_pattern_refuses_bulk_replay(self):
+        strat = AutoStrategy()
+        with pytest.raises(TypeError, match="rank-ordering"):
+            strat.resolve_static(P, regions_for("row-wise"))

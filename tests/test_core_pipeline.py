@@ -372,8 +372,10 @@ class TestStrategyRegistry:
             "rank-ordering",
             "two-phase",
             "two-phase-hier",
+            "auto",
         }
         assert "two-phase" in default_registry.atomic_names()
+        assert "auto" in default_registry.atomic_names()
         assert "none" not in default_registry.atomic_names()
 
     def test_machine_filtering_uses_capabilities(self):

@@ -127,4 +127,5 @@ class TestMechanismDiagnostics:
             "rank-ordering",
             "two-phase",
             "two-phase-hier",
+            "auto",
         }
