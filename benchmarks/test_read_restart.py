@@ -19,12 +19,31 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.harness import run_mixed_experiment, run_read_sweep
-from repro.bench.results import ResultTable
+from repro.bench.adaptive import ADAPTIVE_READ_GRID, run_adaptive_read_sweep
+from repro.bench.harness import (
+    run_mixed_experiment,
+    run_read_experiment,
+    run_read_sweep,
+)
+from repro.bench.jsonlog import entries_from_records
+from repro.bench.perfgate import (
+    ADAPTIVE_READ_PREFIX,
+    check_adaptive,
+    check_wall,
+)
+from repro.bench.results import ResultTable, format_table
 
-from conftest import report
+from conftest import report, report_json
 
 PROCESS_COUNTS = [4, 8, 16]
+
+#: Extended read sweep shape — the read twin of the Section 3.4 extended
+#: write sweep: two rows of 2P-wide columns with ghost width 2, read back
+#: through the bulk-synchronous replay executor.
+EXTENDED_M, EXTENDED_R = 2, 2
+EXTENDED_PROCESS_COUNTS = (4096, 16384, 65536)
+EXTENDED_RANKS_PER_NODE = 8
+EXTENDED_RANKS_PER_AGGREGATOR = 256
 
 
 def _sweep(machine_name: str) -> ResultTable:
@@ -49,6 +68,98 @@ def test_read_sweep(benchmark, machine_name):
         naive = table.filter(strategy="none", nprocs=nprocs).records[0]
         two_phase = table.filter(strategy="two-phase", nprocs=nprocs).records[0]
         assert two_phase.makespan_seconds < naive.makespan_seconds
+
+
+def test_read_extended_sweep(benchmark):
+    """Hierarchical two-phase reads at P in {4096, 16384, 65536}.
+
+    Same contract as the extended write sweep: every point records its host
+    wall clock and must stay inside the absolute per-simulated-op budget of
+    ``repro.bench.perfgate.check_wall``; delivered-stream correctness is
+    verified at the smallest point (the bit-identity of the bulk read replay
+    to the engine path is pinned by ``tests/test_core_bulk.py``).
+    """
+    measured = []
+
+    def sweep():
+        for nprocs in EXTENDED_PROCESS_COUNTS:
+            rec = run_read_experiment(
+                "IBM SP",
+                EXTENDED_M,
+                2 * nprocs,
+                nprocs,
+                "two-phase-hier",
+                overlap_columns=EXTENDED_R,
+                array_label=f"extended-{nprocs}",
+                verify=nprocs <= 4096,
+                executor="bulk",
+                strategy_options={
+                    "num_aggregators": max(1, nprocs // EXTENDED_RANKS_PER_AGGREGATOR),
+                    "ranks_per_node": EXTENDED_RANKS_PER_NODE,
+                },
+            )
+            measured.append(rec)
+        return measured
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    entries = entries_from_records(measured)
+    assert all(e.get("wall_seconds") is not None for e in entries), (
+        "every extended read-sweep point must record wall clock"
+    )
+    problems = check_wall(entries, experiment="read-extended-sweep")
+    assert not problems, "wall budget exceeded:\n" + "\n".join(problems)
+    assert all(rec.atomic_ok for rec in measured)
+    # Weak scaling: the checkpoint grows with P on a fixed server pool, so
+    # the virtual makespan grows about linearly — but the virtual time per
+    # rank must stay flat, else the read schedule's coordination overhead
+    # scales with P.
+    makespans = [rec.makespan_seconds for rec in measured]
+    assert makespans == sorted(makespans)
+    per_rank = [m / p for m, p in zip(makespans, EXTENDED_PROCESS_COUNTS)]
+    assert per_rank[-1] < per_rank[0] * 1.5
+
+    rows = [
+        {
+            "P": str(rec.nprocs),
+            "virtual makespan (s)": f"{rec.makespan_seconds:.4f}",
+            "BW (MB/s)": f"{rec.bandwidth_mb_per_s:.1f}",
+            "verified": ("yes" if rec.atomic_ok else "NO") if rec.nprocs <= 4096 else "not verified",
+            "wall clock (s)": f"{rec.extra['wall_seconds']:.2f}",
+            "wall us/op": f"{rec.extra['wall_seconds'] / (rec.nprocs * rec.phases) * 1e6:.1f}",
+        }
+        for rec in measured
+    ]
+    report(
+        f"Extended read sweep ({EXTENDED_M}x2P, R={EXTENDED_R}, GPFS, "
+        f"two-phase-hier via bulk read executor, P in {list(EXTENDED_PROCESS_COUNTS)})",
+        format_table(rows),
+    )
+    report_json("read-extended-sweep", measured)
+
+
+def test_adaptive_read_grid(benchmark):
+    """The adaptive read grid: ``auto`` vs every read-capable static.
+
+    The same gate the perfgate CLI enforces — auto within 10% of the best
+    static at every (machine, pattern, P) point and strictly ahead at least
+    once — asserted here so the benchmark run records the figures.
+    """
+    table = benchmark.pedantic(run_adaptive_read_sweep, rounds=1, iterations=1)
+    groups = {}
+    for rec in table:
+        name = f"{ADAPTIVE_READ_PREFIX}{rec.file_system.lower()}-{rec.pattern}"
+        groups.setdefault(name, []).append(rec)
+    measured = {
+        name: entries_from_records(records) for name, records in groups.items()
+    }
+    problems = check_adaptive(measured, prefix=ADAPTIVE_READ_PREFIX)
+    assert not problems, "adaptive read gate failed:\n" + "\n".join(problems)
+    report(
+        f"Adaptive read grid ({len(ADAPTIVE_READ_GRID)} points, auto vs statics)",
+        table.to_text(),
+    )
+    report_json("adaptive-read-grid", table.records)
 
 
 def test_mixed_read_write_race(benchmark):

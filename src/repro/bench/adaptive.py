@@ -10,6 +10,11 @@ Two experiment families:
   never worse than the best static by more than 10% anywhere and strictly
   beats every static somewhere.
 
+* :func:`run_adaptive_read_sweep` — the same grid idea on the read path:
+  every (machine × pattern × P) point of the read grid is seeded once and
+  read back under each read-capable static and ``auto``, gated by
+  ``check_adaptive`` under the ``perfgate/adaptive-read/`` prefix.
+
 * :func:`run_repeated_collective` — the checkpoint-every-timestep workload:
   one file, one fixed view per rank, ``steps`` collective writes with fresh
   data each step.  From step 2 on, the ``auto`` strategy's cross-collective
@@ -42,17 +47,23 @@ from ..mpi.runtime import run_spmd
 from ..patterns.partition import views_for_pattern
 from ..patterns.workloads import PAPER_OVERLAP_COLUMNS, rank_pattern_bytes
 from ..verify.atomicity import check_mpi_atomicity
-from .harness import run_column_wise_experiment, strategies_for_machine
+from .harness import (
+    run_column_wise_experiment,
+    run_read_experiment,
+    strategies_for_machine,
+)
 from .jsonlog import entries_from_records, record_results
 from .machines import MachineSpec, machine_by_name
 from .results import ExperimentRecord, ResultTable
 
 __all__ = [
     "ADAPTIVE_GRID",
+    "ADAPTIVE_READ_GRID",
     "REPEATED_POINT",
     "repeated_filename",
     "run_repeated_collective",
     "run_adaptive_sweep",
+    "run_adaptive_read_sweep",
     "outcome_fingerprint",
     "fingerprint_of",
     "main",
@@ -68,15 +79,34 @@ def repeated_filename(
 #: The gated adaptive-vs-static grid: (machine, pattern, P) points covering a
 #: locking machine and the lockless ENFS, the paper's column-wise partitioning
 #: and the 2-D block-block one.  Sizes follow the 32 MB panel at the standard
-#: ``DEFAULT_ROW_SCALE`` (M=64, N=8192).
+#: ``DEFAULT_ROW_SCALE`` (M=64, N=8192).  The P∈{64, 256} points sit past the
+#: hint engine's hierarchical threshold, so the ``two-phase-hier`` rule is
+#: exercised (and gated) on both machines, not just the flat small-P régime.
 ADAPTIVE_GRID: Tuple[Tuple[str, str, int], ...] = (
     ("Origin 2000", "column-wise", 4),
     ("Origin 2000", "column-wise", 16),
     ("Origin 2000", "block-block", 8),
     ("Cplant", "column-wise", 8),
     ("Cplant", "block-block", 16),
+    ("Cplant", "column-wise", 64),
+    ("Origin 2000", "column-wise", 256),
 )
 _GRID_SHAPE = (64, 8192)  # M x N at row scale 64 of the 32 MB panel
+
+#: The read-side twin of :data:`ADAPTIVE_GRID`: every point is measured under
+#: each read-capable static and ``auto`` via the read-back harness
+#: (:func:`repro.bench.harness.run_read_experiment`), and gated the same way
+#: (auto within 10% of the best static everywhere, strictly ahead somewhere).
+#: The small-P points pin the fetch-parallel flat rule (two aggregators per
+#: I/O server), the P∈{64, 256} points the hierarchical read régime.
+ADAPTIVE_READ_GRID: Tuple[Tuple[str, str, int], ...] = (
+    ("Origin 2000", "column-wise", 16),
+    ("Origin 2000", "block-block", 8),
+    ("Cplant", "column-wise", 8),
+    ("Cplant", "block-block", 16),
+    ("Cplant", "column-wise", 64),
+    ("Origin 2000", "column-wise", 256),
+)
 
 #: The repeated-collective point: P ranks re-writing the same column-wise
 #: views for `steps` timesteps.  Sized so a warm step's saved work (P view
@@ -288,6 +318,40 @@ def run_adaptive_sweep(
     return table
 
 
+def run_adaptive_read_sweep(
+    grid: Sequence[Tuple[str, str, int]] = ADAPTIVE_READ_GRID,
+    shape: Tuple[int, int] = _GRID_SHAPE,
+    verify: bool = False,
+) -> ResultTable:
+    """Measure every read grid point under each read-capable static + ``auto``.
+
+    The read-side counterpart of :func:`run_adaptive_sweep`: the file is
+    seeded once per point by the harness, then read back collectively under
+    every strategy.  ``auto`` rows carry the ``selected`` delegate and the
+    derived ``cb_*``/``read_ahead`` hints for the jsonlog.
+    """
+    M, N = shape
+    table = ResultTable()
+    for machine_name, pattern, nprocs in grid:
+        spec = machine_by_name(machine_name)
+        for strategy in strategies_for_machine(
+            spec, default_registry.read_capable_names()
+        ):
+            table.add(
+                run_read_experiment(
+                    machine_name,
+                    M,
+                    N,
+                    nprocs,
+                    strategy,
+                    pattern=pattern,
+                    verify=verify,
+                    array_label=f"{M}x{N}",
+                )
+            )
+    return table
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI: run the adaptive sweep + the repeated-collective pair, print and
     record the results (``adaptive/...`` entries in ``latest.json``)."""
@@ -297,6 +361,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     table = run_adaptive_sweep(ADAPTIVE_GRID[:2] if quick else ADAPTIVE_GRID)
     print(table.to_text("Adaptive vs static (column-wise/block-block grid)"))
     record_results("adaptive/sweep", entries_from_records(table.records))
+
+    read_table = run_adaptive_read_sweep(
+        ADAPTIVE_READ_GRID[:2] if quick else ADAPTIVE_READ_GRID
+    )
+    print(read_table.to_text("Adaptive vs static, read-back grid"))
+    record_results("adaptive/read-sweep", entries_from_records(read_table.records))
 
     machine, pattern, P, M, N, steps = REPEATED_POINT
     repeated: List[ExperimentRecord] = []

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..core.bulk import BulkWriteExecutor
+from ..core.bulk import BulkReadExecutor, BulkWriteExecutor
 from ..core.executor import AtomicWriteExecutor, CollectiveReadExecutor
 from ..core.overlap import overlapped_bytes_total
 from ..core.regions import FileRegionSet
@@ -225,17 +225,35 @@ def _checkpoint_file(
     nprocs: int,
     overlap_columns: int,
     pattern: str,
+    executor: str = "engine",
 ) -> Tuple[List[FileRegionSet], List[bytes]]:
     """Seed ``filename`` with a completed atomic checkpoint write.
 
     The file is written under the two-phase strategy (runnable on every
     machine personality) with rank-identifying pattern data; returns the
     writer views and streams so a later read can be verified against them.
+    ``executor="bulk"`` seeds via the bulk-synchronous write replay — the
+    merged file bytes are identical to the engine path's, and it is the only
+    substrate that reaches the extended read sweep's rank counts.  The bulk
+    seed uses the hierarchical strategy (byte-identical to flat two-phase,
+    pinned by ``tests/test_core_hierarchical.py``): the flat shuffle's dense
+    per-source bookkeeping is O(P × aggregators) and would dominate the
+    measured read at tens of thousands of ranks.
     """
     views = views_for_pattern(pattern, M, N, nprocs, overlap_columns)
-    executor = AtomicWriteExecutor(
+    if executor == "engine":
+        executor_cls = AtomicWriteExecutor
+        seed_strategy = default_registry.create("two-phase")
+    else:
+        executor_cls = BulkWriteExecutor
+        seed_strategy = default_registry.create(
+            "two-phase-hier",
+            num_aggregators=max(1, nprocs // 256),
+            ranks_per_node=8,
+        )
+    executor = executor_cls(
         fs,
-        default_registry.create("two-phase"),
+        seed_strategy,
         filename=filename,
         comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
     )
@@ -264,6 +282,8 @@ def run_read_experiment(
     array_label: Optional[str] = None,
     verify: bool = True,
     pattern: str = "column-wise",
+    executor: str = "engine",
+    strategy_options: Optional[dict] = None,
 ) -> ExperimentRecord:
     """Measure one collective overlapping *read* point.
 
@@ -272,25 +292,39 @@ def run_read_experiment(
     partitioning collectively under ``strategy``'s staged read pipeline.
     ``verify=True`` checks the delivered streams with
     :func:`~repro.verify.atomicity.check_read_atomicity`.
+
+    ``executor`` selects the execution substrate — ``"engine"`` (cooperative
+    event engine, any strategy) or ``"bulk"`` (the bulk-synchronous read
+    replay of :mod:`repro.core.bulk`; aggregation strategies only,
+    bit-identical virtual times, tens of thousands of ranks in seconds) —
+    for both the checkpoint seed and the measured read.
+    ``strategy_options`` are keyword arguments for the read strategy's
+    constructor (e.g. ``num_aggregators``, ``ranks_per_node``).
     """
+    if executor not in ("engine", "bulk"):
+        raise ValueError(f"unknown executor {executor!r}; known: engine, bulk")
     if isinstance(machine, str):
         machine = machine_by_name(machine)
     fs = ParallelFileSystem(machine.make_fs_config())
     filename = f"{machine.file_system.lower()}_{M}x{N}_p{nprocs}_{strategy}_read.dat"
     write_regions, write_data = _checkpoint_file(
-        fs, filename, M, N, nprocs, overlap_columns, pattern
+        fs, filename, M, N, nprocs, overlap_columns, pattern, executor=executor
     )
-    reader = CollectiveReadExecutor(
+    strat = default_registry.create(strategy, **(strategy_options or {}))
+    reader_cls = CollectiveReadExecutor if executor == "engine" else BulkReadExecutor
+    reader = reader_cls(
         fs,
-        default_registry.create(strategy),
+        strat,
         filename=filename,
         comm_cost=CommCostModel(latency=30e-6, byte_cost=1e-8),
     )
     # The restart reads the same partitioning the checkpoint wrote; reuse the
     # writers' already-built region sets instead of regenerating the views.
+    wall_start = time.perf_counter()
     result = reader.run(
         nprocs, view_factory=lambda rank, _P: write_regions[rank].segments
     )
+    wall_seconds = time.perf_counter() - wall_start
     atomic_ok = True
     if verify:
         observations = [
@@ -316,6 +350,19 @@ def run_read_experiment(
     lm = result.file.lock_manager
     if lm is not None and hasattr(lm, "wait_count"):
         lock_waits = lm.wait_count
+    extra = {
+        "cache_hits": float(sum(o.cache_hits for o in result.outcomes)),
+        "cache_misses": float(sum(o.cache_misses for o in result.outcomes)),
+        "shuffled_bytes": float(sum(o.bytes_shuffled for o in result.outcomes)),
+        "wall_seconds": wall_seconds,
+    }
+    selected = None
+    decision = getattr(strat, "last_decision", None)
+    if decision is not None:
+        # The adaptive tuner exposes what it chose; record the concrete
+        # delegate and the derived hints alongside the measurement.
+        selected = decision.strategy
+        extra.update(decision.hints())
     return ExperimentRecord(
         machine=machine.name,
         file_system=machine.file_system,
@@ -333,11 +380,8 @@ def run_read_experiment(
         lock_waits=lock_waits,
         pattern=pattern,
         mode="read",
-        extra={
-            "cache_hits": float(sum(o.cache_hits for o in result.outcomes)),
-            "cache_misses": float(sum(o.cache_misses for o in result.outcomes)),
-            "shuffled_bytes": float(sum(o.bytes_shuffled for o in result.outcomes)),
-        },
+        extra=extra,
+        selected_strategy=selected,
     )
 
 

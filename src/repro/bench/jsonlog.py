@@ -25,8 +25,9 @@ dependent, unlike the makespan) and ``ops`` (the simulated operation count,
 ranks × phases), from which the wall-clock perf gate derives the
 per-simulated-op cost.  Points run under the adaptive ``auto`` strategy also
 record ``selected`` (the concrete delegate the tuner dispatched to) and the
-derived ``cb_nodes`` / ``cb_ppn`` / ``cb_buffer_size`` hints.  Like the text
-report,
+derived ``cb_nodes`` / ``cb_ppn`` / ``cb_buffer_size`` hints (read points
+also record ``read_ahead``, the tuner's client-cache coupling).  Like the
+text report,
 re-recording an experiment replaces its previous entries in place, so the
 file holds exactly one copy of every experiment regardless of how often or
 how partially the benchmarks are re-run.
@@ -83,6 +84,10 @@ def _coerce(entry: Dict) -> Dict:
     for key in ("cb_nodes", "cb_ppn", "cb_buffer_size"):
         if entry.get(key) is not None:
             out[key] = int(entry[key])
+    # Read-side decisions additionally record the client read-ahead coupling
+    # (0/1) the tuner chose for the point.
+    if entry.get("read_ahead") is not None:
+        out["read_ahead"] = int(entry["read_ahead"])
     return out
 
 
@@ -103,7 +108,7 @@ def entries_from_records(records: Iterable) -> List[Dict]:
         selected = getattr(record, "selected_strategy", None)
         if selected is not None:
             entry["selected"] = selected
-        for key in ("cb_nodes", "cb_ppn", "cb_buffer_size"):
+        for key in ("cb_nodes", "cb_ppn", "cb_buffer_size", "read_ahead"):
             value = getattr(record, "extra", {}).get(key)
             if value is not None:
                 entry[key] = int(value)

@@ -15,7 +15,11 @@ clock is machine-dependent, so the relative gate is deliberately loose
 (:data:`DEFAULT_WALL_FACTOR`, a multiple rather than a percentage) — it
 exists to catch the order-of-magnitude scheduler/bookkeeping regressions
 that virtual time is blind to, not 10% noise.  :func:`check_wall` is the
-absolute form (a per-op ceiling) used by the extended Section 3.4 sweep.
+absolute form (a per-op ceiling) used by the extended Section 3.4 sweeps.
+Both I/O directions are gated: the write workloads and the read-back twins
+(the hierarchical bulk-read point, the adaptive read grid under
+:data:`ADAPTIVE_READ_PREFIX`) go through the same relative, wall-clock and
+adaptive checks.
 
 Intentional performance changes update the baseline explicitly::
 
@@ -33,7 +37,7 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from .harness import run_column_wise_experiment
+from .harness import run_column_wise_experiment, run_read_experiment
 from .jsonlog import SCHEMA_VERSION, entries_from_records, record_results
 from .overlap import run_overlap_experiment
 
@@ -44,8 +48,10 @@ __all__ = [
     "DEFAULT_WALL_BUDGET_PER_OP",
     "DEFAULT_ADAPTIVE_FACTOR",
     "ADAPTIVE_PREFIX",
+    "ADAPTIVE_READ_PREFIX",
     "measure",
     "measure_adaptive",
+    "measure_adaptive_read",
     "measure_plan_cache",
     "compare",
     "check_wall",
@@ -76,6 +82,12 @@ DEFAULT_ADAPTIVE_FACTOR = 1.10
 #: Experiment-name prefix :func:`check_adaptive` scans for.
 ADAPTIVE_PREFIX = "perfgate/adaptive/"
 
+#: Same gate, read-back grid: the prefix :func:`measure_adaptive_read` files
+#: its experiments under, scanned by a second :func:`check_adaptive` pass so
+#: the read tuner is held to the same 10%-of-best-static standard as the
+#: write tuner (with its own independent strict-win requirement).
+ADAPTIVE_READ_PREFIX = "perfgate/adaptive-read/"
+
 #: The ``auto`` warm (plan-cache hit) view-resolution CPU per rank-collective
 #: must undercut the cold resolution cost by at least this factor — measured
 #: host time of exactly the work a hit elides, so the margin is wide (~4-7x
@@ -93,6 +105,11 @@ _OVERLAP_POINT = (16, 16, 256)  # P, M, N
 #: op are locked in by the baseline.
 _HIER_POINT = (1024, 8, 2048)  # P, M, N
 _HIER_OPTIONS = {"num_aggregators": 8, "ranks_per_node": 8}
+#: The read-back twin of :data:`_HIER_POINT`: the same thousand-rank
+#: hierarchical workload replayed through :class:`~repro.core.bulk.
+#: BulkReadExecutor`, locking in the read schedule's virtual time and the
+#: read replay's wall clock per op.
+_HIER_READ_POINT = (1024, 8, 2048)  # P, M, N
 
 
 def measure() -> Dict[str, List[Dict]]:
@@ -111,10 +128,17 @@ def measure() -> Dict[str, List[Dict]]:
         overlap_columns=2, executor="bulk",
         strategy_options=dict(_HIER_OPTIONS),
     )
+    read_p, read_m, read_n = _HIER_READ_POINT
+    read_record = run_read_experiment(
+        "IBM SP", read_m, read_n, read_p, "two-phase-hier",
+        overlap_columns=2, executor="bulk", verify=False,
+        strategy_options=dict(_HIER_OPTIONS),
+    )
     return {
         "perfgate/two-phase-write": entries_from_records(write_records),
         "perfgate/overlap-split": entries_from_records([overlap_record]),
         "perfgate/two-phase-hier-bulk": entries_from_records([hier_record]),
+        "perfgate/two-phase-hier-bulk-read": entries_from_records([read_record]),
     }
 
 
@@ -130,6 +154,22 @@ def measure_adaptive() -> Dict[str, List[Dict]]:
     groups: Dict[str, List] = {}
     for record in run_adaptive_sweep():
         name = f"{ADAPTIVE_PREFIX}{record.file_system.lower()}-{record.pattern}"
+        groups.setdefault(name, []).append(record)
+    return {name: entries_from_records(records) for name, records in groups.items()}
+
+
+def measure_adaptive_read() -> Dict[str, List[Dict]]:
+    """Run the adaptive read sweep; one experiment per (machine, pattern).
+
+    The read-back counterpart of :func:`measure_adaptive`: the same grouping
+    rule, filed under :data:`ADAPTIVE_READ_PREFIX` so the read grid gets its
+    own :func:`check_adaptive` pass (including its own strict-win demand).
+    """
+    from .adaptive import run_adaptive_read_sweep
+
+    groups: Dict[str, List] = {}
+    for record in run_adaptive_read_sweep():
+        name = f"{ADAPTIVE_READ_PREFIX}{record.file_system.lower()}-{record.pattern}"
         groups.setdefault(name, []).append(record)
     return {name: entries_from_records(records) for name, records in groups.items()}
 
@@ -394,6 +434,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     update = "--update-baseline" in args
     measured = measure()
     measured.update(measure_adaptive())
+    measured.update(measure_adaptive_read())
     plan_experiments, absolute_problems = measure_plan_cache()
     measured.update(plan_experiments)
     for experiment, entries in measured.items():
@@ -406,7 +447,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"makespan {entry['makespan']:.6f}s ({entry['bytes']} bytes"
                 f"{wall_note})"
             )
-    absolute_problems = absolute_problems + check_adaptive(measured)
+    absolute_problems = (
+        absolute_problems
+        + check_adaptive(measured)
+        + check_adaptive(measured, prefix=ADAPTIVE_READ_PREFIX)
+    )
     for problem in absolute_problems:
         print(f"FAIL: {problem}")
     if update:

@@ -42,7 +42,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .intervals import IntervalSet, clip_many, clip_sorted_runs
+from .intervals import IntervalSet, clip_many, clip_sorted_runs, merge_interval_sets
 from .rank_ordering import HIGHER_RANK_WINS, PriorityPolicy
 
 __all__ = [
@@ -55,6 +55,8 @@ __all__ = [
     "merge_origin_runs",
     "route_stream",
     "scatter_pieces",
+    "node_coverages",
+    "gather_runs",
     "assemble_stream",
 ]
 
@@ -311,6 +313,54 @@ def scatter_pieces(
             (piece_lo, bytes(buffer[piece_src : piece_src + (piece_hi - piece_lo)]))
         )
     return out
+
+
+def node_coverages(
+    coverages: Sequence[IntervalSet], ranks_per_node: int
+) -> List[IntervalSet]:
+    """Union of the consumers' requested byte sets, one set per node.
+
+    ``coverages[r]`` is rank ``r``'s request; under the block rank-to-node
+    placement (``ranks_per_node`` consecutive ranks per node, as in
+    :func:`node_leaders`) the union of a node's requests is what must cross
+    the inter-node network to that node *once* in a hierarchical read —
+    however many of the node's ranks ask for the same byte.  Deterministic
+    and communication-free, like the rest of the negotiation.
+    """
+    if ranks_per_node <= 0:
+        raise ValueError("ranks_per_node must be positive")
+    return [
+        merge_interval_sets(coverages[base : base + ranks_per_node])
+        for base in range(0, len(coverages), ranks_per_node)
+    ]
+
+
+def gather_runs(
+    pieces: Sequence[Tuple[int, bytes]],
+) -> Tuple[List[Tuple[int, int, int]], bytearray]:
+    """Splice disjoint ``(file_offset, data)`` pieces into resident runs.
+
+    The inverse of one :func:`scatter_pieces` cut: the pieces a node leader
+    received from the global aggregators become ``(start, stop,
+    buffer_offset)`` runs over one concatenated buffer — the exact ``held`` /
+    ``buffer`` shape :func:`scatter_pieces` consumes, so the leader can cut
+    again for its local ranks.  Pieces must be pairwise disjoint (aggregator
+    file domains are), else ``ValueError``.
+    """
+    held: List[Tuple[int, int, int]] = []
+    buffer = bytearray()
+    for off, data in sorted(pieces):
+        if not data:
+            continue
+        if held and off < held[-1][1]:
+            raise ValueError(
+                "overlapping pieces delivered to gather_runs: "
+                f"[{held[-1][0]}, {held[-1][1]}) and [{off}, {off + len(data)}) "
+                "share bytes"
+            )
+        held.append((off, off + len(data), len(buffer)))
+        buffer.extend(data)
+    return held, buffer
 
 
 def assemble_stream(

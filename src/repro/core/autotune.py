@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import time
 import weakref
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .analysis import pattern_features
@@ -199,6 +199,11 @@ class TuningDecision:
     cb_nodes: Optional[int] = None
     cb_ppn: Optional[int] = None
     cb_buffer_size: Optional[int] = None
+    #: Read-side cache coupling: ``True`` keeps/enables client read-ahead
+    #: (contiguous cached reads), ``False`` disables it (scatter-fed or
+    #: direct-read schedules never benefit), ``None`` leaves the handle's
+    #: policy alone (write decisions).
+    read_ahead: Optional[bool] = None
     _delegate: Optional[PipelineStrategy] = field(
         default=None, repr=False, compare=False
     )
@@ -239,6 +244,8 @@ class TuningDecision:
             out["cb_ppn"] = float(self.cb_ppn)
         if self.cb_buffer_size is not None:
             out["cb_buffer_size"] = float(self.cb_buffer_size)
+        if self.read_ahead is not None:
+            out["read_ahead"] = 1.0 if self.read_ahead else 0.0
         return out
 
 
@@ -300,6 +307,48 @@ class HintEngine:
             cb_buffer_size=self._chunk(domain_bytes, cb_nodes, machine),
         )
 
+    def decide_read(
+        self, signature: PatternSignature, machine: MachineModel
+    ) -> TuningDecision:
+        """Read-side rules: fetch-parallel aggregation plus cache coupling.
+
+        Reads invert the write economics.  A write wants few aggregators
+        (fewer lock/commit streams at the servers); a read has no commit
+        side, so the fetch phase scales with server parallelism and the only
+        brake is shuffle latency.  Two aggregators per I/O server keeps every
+        server's pipeline full without over-paying alltoallv latency — it
+        reproduces the measured optimum on both the many-server (XFS, best at
+        ``cb = P``) and single-server (ENFS, best at ``cb = 2``) presets.
+        What also differs from writes is the client cache: contiguous readers
+        walk their range sequentially, so read-ahead turns page misses into
+        hits and stays on; aggregation delegates fetch *direct*
+        (cache-bypassing) and scatter-feed the consumers, so read-ahead would
+        only prefetch pages nobody reads through the cache — the decision
+        switches it off.
+        """
+        nprocs = max(1, signature.nprocs)
+        if signature.kind == "contiguous":
+            return TuningDecision(strategy="rank-ordering", read_ahead=True)
+        domain_bytes = 1 << signature.domain_bucket
+        if nprocs >= self.hier_threshold:
+            ppn = self.default_ppn
+            nodes = -(-nprocs // ppn)
+            cb_nodes = max(1, min(nodes, max(machine.num_servers, nodes // 4)))
+            return TuningDecision(
+                strategy="two-phase-hier",
+                cb_nodes=cb_nodes,
+                cb_ppn=ppn,
+                cb_buffer_size=self._chunk(domain_bytes, cb_nodes, machine),
+                read_ahead=False,
+            )
+        cb_nodes = min(nprocs, max(1, 2 * machine.num_servers))
+        return TuningDecision(
+            strategy="two-phase",
+            cb_nodes=cb_nodes,
+            cb_buffer_size=self._chunk(domain_bytes, cb_nodes, machine),
+            read_ahead=False,
+        )
+
     @staticmethod
     def _chunk(domain_bytes: int, cb_nodes: int, machine: MachineModel) -> int:
         """Stripe-aligned per-aggregator file-domain chunk."""
@@ -313,7 +362,13 @@ class HintEngine:
 
 @dataclass
 class PlanEntry:
-    """One cached collective plan: the exchanged views and their decision."""
+    """One cached collective plan: the exchanged views and their signature.
+
+    The entry is mode-agnostic: a cached plan seeded by a write collective
+    replays for a read of the same views (and vice versa) — the signature is
+    looked up in the per-mode decision table at resolution time, so the two
+    modes never hand each other the wrong decision.
+    """
 
     signature: PatternSignature
     #: The shared exchanged region list.  Replayed *by identity* on a hit so
@@ -322,7 +377,6 @@ class PlanEntry:
     regions: List[FileRegionSet]
     #: Per-rank fingerprints ``(num_segments, total_bytes, hash(segments))``.
     fingerprints: Tuple[Tuple[int, int, int], ...]
-    decision: TuningDecision
 
 
 class FileTuningRecord:
@@ -336,8 +390,11 @@ class FileTuningRecord:
     """
 
     def __init__(self) -> None:
-        #: Persistent hint cache: signature -> tuning decision.
+        #: Persistent hint cache: signature -> tuning decision (writes).
         self.decisions: Dict[PatternSignature, TuningDecision] = {}
+        #: Persistent read-side hint cache (reads reward different cache
+        #: coupling, so the two modes keep separate tables).
+        self.read_decisions: Dict[PatternSignature, TuningDecision] = {}
         #: Cross-collective plan cache (at most one live entry).
         self.entry: Optional[PlanEntry] = None
         #: Once-per-collective resolution memo, keyed on the identity of the
@@ -392,12 +449,14 @@ def notify_hint_change(fs, filename: str) -> None:
     if record is not None:
         record.entry = None
         record.decisions.clear()
+        record.read_decisions.clear()
 
 
 # -- the adaptive strategy ----------------------------------------------------
 
-#: A resolution: the shared region list, the decision, and the hit verdict.
-_Resolution = Tuple[List[FileRegionSet], TuningDecision, bool]
+#: A resolution: the shared region list, the signature, and the hit verdict.
+#: (Mode-agnostic — the per-mode decision is looked up from the signature.)
+_Resolution = Tuple[List[FileRegionSet], PatternSignature, bool]
 
 
 @register_strategy
@@ -453,7 +512,21 @@ class AutoStrategy(PipelineStrategy):
     def _fingerprint(region: FileRegionSet) -> Tuple[int, int, int]:
         return (region.num_segments, region.total_bytes, hash(region.segments))
 
-    def _resolve(self, comm, region: FileRegionSet) -> _Resolution:
+    def _decision_for(
+        self, record: FileTuningRecord, signature: PatternSignature, mode: str
+    ) -> TuningDecision:
+        """Get-or-create the ``mode``'s decision for ``signature``."""
+        table = record.decisions if mode == "write" else record.read_decisions
+        decision = table.get(signature)
+        if decision is None:
+            decide = self.engine.decide if mode == "write" else self.engine.decide_read
+            decision = decide(signature, self._machine)
+            table[signature] = decision
+        return decision
+
+    def _resolve(
+        self, comm, region: FileRegionSet, mode: str = "write"
+    ) -> Tuple[List[FileRegionSet], TuningDecision, bool]:
         """One collective exchange resolving views, signature and decision.
 
         Exactly one allgather, whatever the cache state (see module doc).
@@ -480,7 +553,8 @@ class AutoStrategy(PipelineStrategy):
         if resolution is None:
             resolution = self._decide(comm.size, shared, record)
             record.memo.put(key, shared, resolution)
-        regions, decision, hit = resolution
+        regions, signature, hit = resolution
+        decision = self._decision_for(record, signature, mode)
         if claim_hit:
             # Exact verification behind the O(1) fingerprint: a hash collision
             # must never let a stale plan touch the wrong bytes.
@@ -496,7 +570,7 @@ class AutoStrategy(PipelineStrategy):
             record.warm_cpu += elapsed
         else:
             record.cold_cpu += elapsed
-        return resolution
+        return (regions, decision, hit)
 
     def _decide(self, comm_size: int, shared, record: FileTuningRecord) -> _Resolution:
         """The once-per-collective verdict, computed from the shared payloads.
@@ -519,7 +593,7 @@ class AutoStrategy(PipelineStrategy):
                         "cached plan entry"
                     )
             record.hits += 1
-            return (entry.regions, entry.decision, True)
+            return (entry.regions, entry.signature, True)
         regions: List[FileRegionSet] = []
         for rank, payload in enumerate(shared):
             tag = payload[0]
@@ -542,18 +616,13 @@ class AutoStrategy(PipelineStrategy):
                     f"auto: malformed exchange payload from rank {rank}: {tag!r}"
                 )
         signature = classify_pattern(regions)
-        decision = record.decisions.get(signature)
-        if decision is None:
-            decision = self.engine.decide(signature, self._machine)
-            record.decisions[signature] = decision
         record.misses += 1
         record.entry = PlanEntry(
             signature=signature,
             regions=regions,
             fingerprints=tuple(self._fingerprint(r) for r in regions),
-            decision=decision,
         )
-        return (regions, decision, False)
+        return (regions, signature, False)
 
     # -- the pipeline, via the delegate ---------------------------------------
 
@@ -568,24 +637,46 @@ class AutoStrategy(PipelineStrategy):
         return PreparedWrite(plan=plan, payloads=payloads, start_time=start_time)
 
     def prepare_read(self, comm, region, start_time):  # noqa: D102
-        regions, decision, _ = self._resolve(comm, region)
+        regions, decision, _ = self._resolve(comm, region, mode="read")
         delegate = decision.delegate()
         report = delegate.analysis.run(regions)
         plan = delegate.schedule_read(comm, region, report)
         plan.strategy = self.name
+        plan.extra.update(decision.hints())
         prepared = PreparedRead(
             plan=plan, report=report, region=region, start_time=start_time
         )
         # The delegate owns delivery (two-phase scatters from aggregators);
         # remember it for commit_read, which may run on a detached task.
         prepared.delegate = delegate
+        prepared.decision = decision
         return prepared
 
     def commit_read(self, comm, handle, prepared):  # noqa: D102
         delegate = getattr(prepared, "delegate", None)
         if delegate is None:
             return super().commit_read(comm, handle, prepared)
+        decision = getattr(prepared, "decision", None)
+        if decision is not None and decision.read_ahead is not None:
+            self._apply_read_ahead(handle, decision.read_ahead)
         return delegate.commit_read(comm, handle, prepared)
+
+    @staticmethod
+    def _apply_read_ahead(handle, enabled: bool) -> None:
+        """Couple the decision's ``read_ahead`` verdict to the client cache.
+
+        Free in simulated time (a pure policy swap) — it changes which pages
+        future cached reads prefetch, not the clock.
+        """
+        cache = getattr(handle, "cache", None)
+        if cache is None:
+            return
+        from ..fs.cache import CachePolicy
+
+        policy = cache.policy
+        pages = CachePolicy.read_ahead_pages if enabled else 0
+        if policy.read_ahead_pages != pages:
+            cache.policy = replace(policy, read_ahead_pages=pages)
 
     def schedule(self, comm, region, data, report):  # noqa: D102
         raise RuntimeError(
@@ -596,7 +687,7 @@ class AutoStrategy(PipelineStrategy):
     # -- bulk-replay support ---------------------------------------------------
 
     def resolve_static(
-        self, comm_size: int, regions: Sequence[FileRegionSet]
+        self, comm_size: int, regions: Sequence[FileRegionSet], mode: str = "write"
     ) -> TwoPhaseStrategy:
         """Classify and decide without a collective, for the bulk replay.
 
@@ -607,16 +698,13 @@ class AutoStrategy(PipelineStrategy):
         """
         record = self._active_record()
         signature = classify_pattern(regions)
-        decision = record.decisions.get(signature)
-        if decision is None:
-            decision = self.engine.decide(signature, self._machine)
-            record.decisions[signature] = decision
+        decision = self._decision_for(record, signature, mode)
         self.last_decision = decision
         self.last_hit = False
         delegate = decision.delegate()
         if not isinstance(delegate, TwoPhaseStrategy):
             raise TypeError(
                 f"auto selected {decision.strategy!r} for this pattern, which "
-                "the bulk replay cannot execute; use AtomicWriteExecutor"
+                "the bulk replay cannot execute; use the engine executors"
             )
         return delegate

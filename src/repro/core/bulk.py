@@ -39,18 +39,31 @@ from ..fs.filesystem import ParallelFileSystem
 from ..mpi.clock import VirtualClock
 from ..mpi.cost import CommCostModel, _Volume, payload_nbytes
 from ..mpi.runtime import SPMDResult
-from .aggregation import merge_origin_runs, merge_pieces, route_stream
-from .executor import ConcurrentWriteResult, default_data_factory
+from .aggregation import (
+    assemble_stream,
+    gather_runs,
+    merge_origin_runs,
+    merge_pieces,
+    node_coverages,
+    route_stream,
+    scatter_pieces,
+)
+from .executor import (
+    ConcurrentReadResult,
+    ConcurrentWriteResult,
+    default_data_factory,
+)
 from .intervals import clip_sorted_runs
 from .regions import FileRegionSet
 from .strategies import (
     AGGREGATE_PAYLOAD,
     HierarchicalTwoPhaseStrategy,
+    ReadOutcome,
     TwoPhaseStrategy,
     WriteOutcome,
 )
 
-__all__ = ["BulkWriteExecutor"]
+__all__ = ["BulkReadExecutor", "BulkWriteExecutor"]
 
 ViewFactory = Callable[[int, int], Sequence[Tuple[int, int]]]
 DataFactory = Callable[[int, int], bytes]
@@ -377,3 +390,284 @@ class BulkWriteExecutor:
             )
             schedules.append((steps, outcome))
         return schedules
+
+
+class BulkReadExecutor:
+    """Drop-in replacement for :class:`CollectiveReadExecutor` at scale.
+
+    Same constructor and :meth:`run` contract, same
+    :class:`~repro.core.executor.ConcurrentReadResult`; only the execution
+    substrate differs (driver-loop replay instead of engine tasks).  The
+    replayed rank program is the strategies' own bulk-synchronous read
+    sequence — flush, view exchange, aggregator fetch in discrete-event
+    order, scatter (one hop flat, two hops hierarchical), local assembly —
+    so virtual times, delivered streams and outcome accounting are
+    bit-identical to the engine path (``tests/test_core_bulk.py`` pins it).
+    Raises :class:`TypeError` for strategies whose read schedule it cannot
+    replay.
+    """
+
+    def __init__(
+        self,
+        fs: ParallelFileSystem,
+        strategy: TwoPhaseStrategy,
+        filename: str = "shared.dat",
+        comm_cost: Optional[CommCostModel] = None,
+    ) -> None:
+        if not isinstance(strategy, TwoPhaseStrategy) and not hasattr(
+            strategy, "resolve_static"
+        ):
+            raise TypeError(
+                "BulkReadExecutor replays aggregation read schedules only; "
+                f"{type(strategy).__name__} must run on the engine "
+                "(CollectiveReadExecutor)"
+            )
+        self.fs = fs
+        self.strategy = strategy
+        self.filename = filename
+        self.comm_cost = comm_cost or CommCostModel(latency=20e-6, byte_cost=1e-8)
+        bind = getattr(strategy, "bind_context", None)
+        if bind is not None:
+            bind(fs, filename)
+
+    def run(self, nprocs: int, view_factory: ViewFactory) -> ConcurrentReadResult:
+        """Execute the collective read on ``nprocs`` replayed ranks."""
+        if nprocs <= 0:
+            raise ValueError("nprocs must be positive")
+        from ..fs.client import FSClient
+
+        fs = self.fs
+        fobj = fs.lookup(self.filename)
+        regions = [
+            FileRegionSet(rank, view_factory(rank, nprocs)) for rank in range(nprocs)
+        ]
+        clocks = [VirtualClock() for _ in range(nprocs)]
+
+        # Resolve the adaptive strategy to its tuned read delegate (no
+        # collective needed — the driver holds every rank's regions).
+        resolver = getattr(self.strategy, "resolve_static", None)
+        if resolver is not None:
+            delegate = resolver(nprocs, regions, mode="read")
+            decision = getattr(self.strategy, "last_decision", None)
+            hint_extra = decision.hints() if decision is not None else {}
+        else:
+            delegate = self.strategy
+            hint_extra = {}
+
+        handles = []
+        for rank in range(nprocs):
+            client = FSClient(fs, client_id=rank, clock=clocks[rank])
+            handles.append(client.open(self.filename, create=False))
+        try:
+            # Flush before the exchange rendezvous, exactly like
+            # ``execute_read`` — a no-op in virtual time on the clean caches
+            # of freshly opened handles, kept for sequence parity.
+            for handle in handles:
+                handle.sync()
+
+            # Stage 1 — view exchange (adaptive ships the tagged flattened
+            # view of 1 + 2*segments elements instead, costed honestly).
+            if resolver is not None:
+                exchange_costs = [
+                    self.comm_cost.cost(_Volume(1 + 2 * r.num_segments))
+                    for r in regions
+                ]
+            else:
+                exchange_costs = [self.comm_cost.cost(r.segments) for r in regions]
+            _rendezvous(clocks, exchange_costs)
+
+            agg_set, aggregators, _, pieces, _ = delegate._negotiate(nprocs, regions)
+            hierarchical = isinstance(delegate, HierarchicalTwoPhaseStrategy)
+
+            # Per-aggregator fetch steps and aggregate sink buffers.
+            held_by_rank: List[List[Tuple[int, int, int]]] = []
+            buffers: List[bytearray] = []
+            outcomes: List[ReadOutcome] = []
+            for rank in range(nprocs):
+                held = list(delegate._held_runs(rank, pieces))
+                held_by_rank.append(held)
+                size = held[-1][2] + (held[-1][1] - held[-1][0]) if held else 0
+                buffers.append(bytearray(size))
+                if hierarchical:
+                    my_phase = (
+                        0
+                        if rank in agg_set
+                        else (1 if rank == delegate._leader_of(rank) else 2)
+                    )
+                    extra = {
+                        "aggregators": float(len(aggregators)),
+                        "node_leaders": float(
+                            -(-nprocs // delegate.ranks_per_node)
+                        ),
+                    }
+                    phases = 3
+                else:
+                    my_phase = 0 if rank in agg_set else 1
+                    extra = {"aggregators": float(len(aggregators))}
+                    phases = 2
+                extra.update(hint_extra)
+                outcomes.append(
+                    ReadOutcome(
+                        strategy=self.strategy.name,
+                        rank=rank,
+                        bytes_requested=regions[rank].total_bytes,
+                        phases=phases,
+                        my_phase=my_phase,
+                        start_time=0.0,
+                        extra=extra,
+                    )
+                )
+
+            # Phase 1 — aggregator fetch in discrete-event order: one direct
+            # read per heap pop against the real client/link/server resource
+            # stack (the heap IS the sequencing, as in the write replay).
+            heap = [
+                (clocks[rank].now, rank) for rank in range(nprocs) if held_by_rank[rank]
+            ]
+            heapq.heapify(heap)
+            cursors = [0] * nprocs
+            while heap:
+                _, rank = heapq.heappop(heap)
+                held = held_by_rank[rank]
+                start, stop, buf = held[cursors[rank]]
+                cursors[rank] += 1
+                data = handles[rank].read(start, stop - start, direct=True)
+                buffers[rank][buf : buf + len(data)] = data
+                outcomes[rank].bytes_read += len(data)
+                outcomes[rank].segments_read += 1
+                if cursors[rank] < len(held):
+                    heapq.heappush(heap, (clocks[rank].now, rank))
+
+            # Phase 2 — scatter + assembly.
+            if hierarchical:
+                streams = self._deliver_hierarchical(
+                    nprocs, regions, clocks, delegate, held_by_rank, buffers, outcomes
+                )
+            else:
+                streams = self._deliver_flat(
+                    nprocs, regions, clocks, held_by_rank, buffers, outcomes
+                )
+            for rank in range(nprocs):
+                outcomes[rank].end_time = clocks[rank].now
+                outcomes[rank].bytes_returned = len(streams[rank])
+        finally:
+            for handle in handles:
+                handle.close()
+
+        return ConcurrentReadResult(
+            filename=self.filename,
+            fs=fs,
+            file=fobj,
+            outcomes=outcomes,
+            data=streams,
+            spmd=SPMDResult(returns=list(zip(streams, outcomes)), clocks=clocks),
+            regions=regions,
+        )
+
+    # -- delivery replays -------------------------------------------------------
+
+    def _deliver_flat(
+        self,
+        nprocs: int,
+        regions: List[FileRegionSet],
+        clocks: List[VirtualClock],
+        held_by_rank: List[List[Tuple[int, int, int]]],
+        buffers: List[bytearray],
+        outcomes: List[ReadOutcome],
+    ) -> List[bytes]:
+        """Replay :meth:`TwoPhaseStrategy.deliver_read` for every rank."""
+        coverages = [r.coverage for r in regions]
+        pieces_for: List[List[Tuple[int, bytes]]] = [[] for _ in range(nprocs)]
+        volumes = [0] * nprocs
+        for rank in range(nprocs):
+            if not held_by_rank[rank]:
+                continue
+            sendbufs = scatter_pieces(held_by_rank[rank], buffers[rank], coverages)
+            for dest, bufs in enumerate(sendbufs):
+                if not bufs:
+                    continue
+                pieces_for[dest].extend(bufs)
+                if dest != rank:
+                    volumes[rank] += sum(len(piece) for _, piece in bufs)
+        _rendezvous(
+            clocks, [self.comm_cost.cost(_Volume(v)) for v in volumes]
+        )
+        streams = []
+        for rank in range(nprocs):
+            outcomes[rank].bytes_shuffled = volumes[rank]
+            stream, filled = assemble_stream(
+                pieces_for[rank], regions[rank].buffer_map(), regions[rank].total_bytes
+            )
+            outcomes[rank].extra["scatter_filled_bytes"] = float(filled)
+            streams.append(stream)
+        return streams
+
+    def _deliver_hierarchical(
+        self,
+        nprocs: int,
+        regions: List[FileRegionSet],
+        clocks: List[VirtualClock],
+        strategy: HierarchicalTwoPhaseStrategy,
+        held_by_rank: List[List[Tuple[int, int, int]]],
+        buffers: List[bytearray],
+        outcomes: List[ReadOutcome],
+    ) -> List[bytes]:
+        """Replay :meth:`HierarchicalTwoPhaseStrategy.deliver_read`."""
+        ppn = strategy.ranks_per_node
+        coverages = [r.coverage for r in regions]
+        per_node = node_coverages(coverages, ppn)
+
+        # Hop 1 — inter-node scatter: aggregators ship each node leader the
+        # union of its node's requested bytes.
+        arrivals: List[List[Tuple[int, bytes]]] = [[] for _ in range(nprocs)]
+        shuffled = [0] * nprocs
+        hop1 = [0] * nprocs
+        for rank in range(nprocs):
+            if not held_by_rank[rank]:
+                continue
+            node_sendbufs = scatter_pieces(held_by_rank[rank], buffers[rank], per_node)
+            for node_idx, bufs in enumerate(node_sendbufs):
+                if not bufs:
+                    continue
+                leader = node_idx * ppn
+                arrivals[leader].extend(bufs)
+                if leader != rank:
+                    hop1[rank] += sum(len(piece) for _, piece in bufs)
+            shuffled[rank] += hop1[rank]
+        _rendezvous(clocks, [self.comm_cost.cost(_Volume(v)) for v in hop1])
+
+        # Leaders splice the arrived runs and cut them per local rank.
+        pieces_for: List[List[Tuple[int, bytes]]] = [[] for _ in range(nprocs)]
+        hop2 = [0] * nprocs
+        for leader in range(0, nprocs, ppn):
+            if not arrivals[leader]:
+                continue
+            node_held, node_buffer = gather_runs(arrivals[leader])
+            locals_stop = min(nprocs, leader + ppn)
+            cut = scatter_pieces(
+                node_held,
+                node_buffer,
+                [coverages[r] for r in range(leader, locals_stop)],
+            )
+            for i, bufs in enumerate(cut):
+                if not bufs:
+                    continue
+                dest = leader + i
+                pieces_for[dest].extend(bufs)
+                if dest != leader:
+                    hop2[leader] += sum(len(piece) for _, piece in bufs)
+        for leader in range(0, nprocs, ppn):
+            shuffled[leader] += hop2[leader]
+
+        # Hop 2 — intra-node scatter.
+        _rendezvous(clocks, [self.comm_cost.cost(_Volume(v)) for v in hop2])
+
+        streams = []
+        for rank in range(nprocs):
+            outcomes[rank].bytes_shuffled = shuffled[rank]
+            stream, filled = assemble_stream(
+                pieces_for[rank], regions[rank].buffer_map(), regions[rank].total_bytes
+            )
+            outcomes[rank].extra["scatter_filled_bytes"] = float(filled)
+            streams.append(stream)
+        return streams

@@ -79,8 +79,10 @@ from .aggregation import (
     assemble_stream,
     choose_aggregators,
     choose_node_aggregators,
+    gather_runs,
     merge_origin_runs,
     merge_pieces,
+    node_coverages,
     partition_domain,
     route_stream,
     scatter_pieces,
@@ -1055,6 +1057,110 @@ class HierarchicalTwoPhaseStrategy(TwoPhaseStrategy):
             },
         )
         return plan, {USER_PAYLOAD: data, AGGREGATE_PAYLOAD: bytes(buffer)}
+
+    #: Class-level memo for the per-node union coverages of one collective
+    #: read — shared across the P per-rank strategy instances exactly like
+    #: the negotiation memo.
+    _node_coverage_memo = _SharedMemo()
+
+    def _node_coverages(
+        self, comm_size: int, regions: Sequence[FileRegionSet]
+    ) -> List[IntervalSet]:
+        """Per-node union coverages for the scatter hops, memoised per
+        collective (same identity-pinning discipline as :meth:`_negotiate`)."""
+        pin = tuple(regions)
+        key = (tuple(map(id, pin)), comm_size, self.ranks_per_node)
+        cached = self._node_coverage_memo.get(key)
+        if cached is not None:
+            return cached
+        per_node = node_coverages([r.coverage for r in regions], self.ranks_per_node)
+        self._node_coverage_memo.put(key, pin, per_node)
+        return per_node
+
+    def schedule_read(self, comm, region, report):  # noqa: D102 - see base
+        # Phase 0 — fetch: identical to the flat read (the negotiation already
+        # elects topology-aware node-leader aggregators via cb_nodes/cb_ppn),
+        # but the plan reports the three-phase hierarchical schedule: fetch,
+        # inter-node scatter to the node leaders, intra-node scatter.
+        regions = report.regions
+        agg_set, aggregators, _, pieces, _ = self._negotiate(comm.size, regions)
+        steps = [
+            ReadStep(buffer_offset=buf, file_offset=start, length=stop - start,
+                     sink=AGGREGATE_PAYLOAD)
+            for start, stop, buf in self._held_runs(region.rank, pieces)
+        ]
+        is_leader = region.rank == self._leader_of(region.rank)
+        return self._read_plan(
+            region,
+            phases=[ReadPhasePlan(index=0, steps=steps, direct=True)],
+            reported_phases=3,
+            my_phase=0 if region.rank in agg_set else (1 if is_leader else 2),
+            extra={
+                "aggregators": float(len(aggregators)),
+                "node_leaders": float(-(-comm.size // self.ranks_per_node)),
+            },
+        )
+
+    def deliver_read(self, comm, region, report, outcome, sinks):  # noqa: D102 - see base
+        # The scatter half of the flat read, split along the topology.  Both
+        # hops are sparse, so the per-rank bookkeeping is sized by actual
+        # traffic: an aggregator talks to node leaders, a leader to its
+        # ranks_per_node locals.  Every byte of a node's union request
+        # crosses the inter-node network once, however many of the node's
+        # ranks cover it.
+        regions = report.regions
+        _, _, _, pieces, _ = self._negotiate(comm.size, regions)
+        held = self._held_runs(region.rank, pieces)
+        per_node = self._node_coverages(comm.size, regions)
+
+        # Hop 1 — inter-node scatter: cut the fetched chunk against the
+        # per-node union coverages and ship each node's pieces to its leader.
+        node_sendbufs = scatter_pieces(
+            held, sinks.get(AGGREGATE_PAYLOAD, bytearray()), per_node
+        )
+        shuffled = 0
+        outgoing: Dict[int, List[Tuple[int, bytes]]] = {}
+        for node_idx, bufs in enumerate(node_sendbufs):
+            if not bufs:
+                continue
+            leader = node_idx * self.ranks_per_node
+            outgoing[leader] = bufs
+            if leader != region.rank:
+                shuffled += sum(len(piece) for _, piece in bufs)
+        node_received = comm.alltoallv_sparse(outgoing)
+
+        # Leaders splice the received disjoint pieces into a node-resident
+        # buffer and cut it again, per local rank this time.
+        local: Dict[int, List[Tuple[int, bytes]]] = {}
+        if region.rank == self._leader_of(region.rank) and node_received:
+            node_held, node_buffer = gather_runs(
+                [piece for _, sent in node_received for piece in sent]
+            )
+            locals_stop = min(comm.size, region.rank + self.ranks_per_node)
+            cut = scatter_pieces(
+                node_held,
+                node_buffer,
+                [regions[r].coverage for r in range(region.rank, locals_stop)],
+            )
+            for i, bufs in enumerate(cut):
+                if not bufs:
+                    continue
+                dest = region.rank + i
+                local[dest] = bufs
+                if dest != region.rank:
+                    shuffled += sum(len(piece) for _, piece in bufs)
+
+        # Hop 2 — intra-node scatter: every rank receives exactly the pieces
+        # of its own view from its leader.
+        received = comm.alltoallv_sparse(local)
+        outcome.bytes_shuffled = shuffled
+        stream, filled = assemble_stream(
+            [piece for _, sent in received for piece in sent],
+            region.buffer_map(),
+            region.total_bytes,
+        )
+        outcome.extra["scatter_filled_bytes"] = float(filled)
+        return stream
 
 
 def strategy_by_name(name: str, **kwargs) -> AtomicityStrategy:

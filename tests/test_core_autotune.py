@@ -143,6 +143,52 @@ class TestHintEngine:
         assert decision.delegate() is decision.delegate()
 
 
+class TestHintEngineRead:
+    machine = MachineModel(supports_locking=True, num_servers=8, stripe_size=64 * 1024)
+
+    def test_contiguous_read_keeps_read_ahead(self):
+        decision = HintEngine().decide_read(signature("contiguous"), self.machine)
+        assert decision.strategy == "rank-ordering"
+        assert decision.read_ahead is True
+        assert decision.hints() == {"read_ahead": 1.0}
+
+    def test_interleaved_read_is_fetch_parallel(self):
+        # Reads have no commit side: two aggregators per I/O server, not the
+        # write rule's half-the-servers.
+        decision = HintEngine().decide_read(signature("strided", nprocs=32), self.machine)
+        assert decision.strategy == "two-phase"
+        assert decision.cb_nodes == 2 * self.machine.num_servers
+        assert decision.cb_buffer_size % self.machine.stripe_size == 0
+        assert decision.read_ahead is False
+        assert decision.hints()["read_ahead"] == 0.0
+
+    def test_read_cb_nodes_capped_by_nprocs(self):
+        decision = HintEngine().decide_read(signature("strided", nprocs=2), self.machine)
+        assert decision.cb_nodes == 2
+
+    def test_single_server_read_stays_narrow(self):
+        # An ENFS-like single-server machine: fan-out past 2 aggregators only
+        # adds shuffle latency the lone server cannot amortise.
+        enfs = MachineModel(supports_locking=False, num_servers=1, stripe_size=64 * 1024)
+        decision = HintEngine().decide_read(signature("strided", nprocs=16), enfs)
+        assert decision.cb_nodes == 2
+
+    def test_large_p_read_goes_hierarchical(self):
+        decision = HintEngine().decide_read(signature("strided", nprocs=128), self.machine)
+        assert decision.strategy == "two-phase-hier"
+        assert decision.cb_ppn == HintEngine.default_ppn
+        assert decision.read_ahead is False
+
+    def test_read_and_write_decisions_are_separate(self):
+        engine = HintEngine()
+        sig = signature("strided", nprocs=32)
+        write = engine.decide(sig, self.machine)
+        read = engine.decide_read(sig, self.machine)
+        assert write.read_ahead is None
+        assert "read_ahead" not in write.hints()
+        assert write.cb_nodes != read.cb_nodes
+
+
 # -- the Info.get_bool accessor (what `auto`'s toggles parse with) ------------
 
 
@@ -308,6 +354,74 @@ class TestAutoEndToEnd:
         assert files["on"][1] == files["off"][1]
 
 
+def read_steps(fs, filename, steps=1, pattern="column-wise", info=None, reset_view=False):
+    """Seed ``filename`` with one ``auto`` write, then ``steps`` Read_alls."""
+    info = info if info is not None else Info({"atomicity_strategy": "auto"})
+
+    def fn(comm):
+        f = MPIFile.Open(comm, filename, fs, info=info)
+        f.Set_atomicity(True)
+        ft, nbytes = filetype_for(pattern, comm.rank)
+        f.Set_view(0, CHAR, ft)
+        f.Write_all(bytes([ord("A") + comm.rank % 26]) * nbytes)
+        streams = []
+        for _ in range(steps):
+            if reset_view:
+                f.Set_view(0, CHAR, ft)
+            f.Seek(0)
+            buffer = bytearray(nbytes)
+            f.Read_all(buffer)
+            streams.append(bytes(buffer))
+        # Collective reads run on the progress handle (`Iread_all` body),
+        # so that is where the tuner's read_ahead coupling lands.
+        pages = f._async_handle.cache.policy.read_ahead_pages
+        f.Close()
+        return streams, pages
+
+    return run_spmd(fn, P)
+
+
+class TestAutoReadEndToEnd:
+    def test_read_returns_the_written_bytes(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = read_steps(fs, "rw.dat")
+        for rank, (streams, _) in enumerate(result.returns):
+            assert streams[0] == bytes([ord("A") + rank % 26]) * len(streams[0])
+
+    def test_write_seeded_plan_replays_for_reads(self):
+        # The plan entry is mode-agnostic: the write's exchanged views and
+        # signature replay for the reads, only the decision table splits.
+        fs = ParallelFileSystem(fast_fs_config())
+        read_steps(fs, "replay.dat", steps=3)
+        record = peek_record(fs, "replay.dat")
+        assert record.misses == 1  # the seeding write
+        assert record.hits == 3  # every read replayed the cached plan
+        assert len(record.decisions) == 1
+        assert len(record.read_decisions) == 1
+
+    def test_read_decision_disables_read_ahead(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        result = read_steps(fs, "ra.dat")
+        (decision,) = peek_record(fs, "ra.dat").read_decisions.values()
+        assert decision.read_ahead is False
+        for _, pages in result.returns:
+            assert pages == 0  # the handle's cache policy was switched off
+
+    def test_set_view_invalidates_the_read_plan(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        read_steps(fs, "rinval.dat", steps=2, reset_view=True)
+        record = peek_record(fs, "rinval.dat")
+        assert record.hits == 0
+        assert record.misses == 3  # write + both reads re-resolved
+        # The hint caches survive the view changes...
+        assert record.decisions and record.read_decisions
+        # ...but a hint change clears both decision tables too.
+        autotune.notify_hint_change(fs, "rinval.dat")
+        assert record.entry is None
+        assert record.decisions == {}
+        assert record.read_decisions == {}
+
+
 class TestBulkResolveStatic:
     def test_interleaved_pattern_yields_two_phase(self):
         strat = AutoStrategy()
@@ -315,6 +429,14 @@ class TestBulkResolveStatic:
         assert isinstance(delegate, TwoPhaseStrategy)
         assert strat.last_decision is not None
         assert strat.last_decision.strategy == "two-phase"
+
+    def test_read_mode_resolves_the_read_decision(self):
+        strat = AutoStrategy()
+        write_delegate = strat.resolve_static(P, regions_for("column-wise"))
+        read_delegate = strat.resolve_static(P, regions_for("column-wise"), mode="read")
+        assert isinstance(read_delegate, TwoPhaseStrategy)
+        assert strat.last_decision.read_ahead is False
+        assert read_delegate is not write_delegate
 
     def test_contiguous_pattern_refuses_bulk_replay(self):
         strat = AutoStrategy()

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.bulk import BulkWriteExecutor
-from repro.core.executor import AtomicWriteExecutor
+from repro.core.autotune import AutoStrategy
+from repro.core.bulk import BulkReadExecutor, BulkWriteExecutor
+from repro.core.executor import AtomicWriteExecutor, CollectiveReadExecutor
 from repro.core.strategies import (
     HierarchicalTwoPhaseStrategy,
     LockingStrategy,
@@ -106,5 +107,102 @@ class TestGuardrails:
     def test_rejects_bad_nprocs(self):
         fs = ParallelFileSystem(fast_fs_config())
         executor = BulkWriteExecutor(fs, TwoPhaseStrategy())
+        with pytest.raises(ValueError):
+            executor.run(0, lambda rank, P: [(0, 4)])
+
+
+# -- read replay ---------------------------------------------------------------
+
+READ_STRATEGIES = {
+    "two-phase": lambda: TwoPhaseStrategy(),
+    "two-phase-few-aggs": lambda: TwoPhaseStrategy(num_aggregators=3),
+    "two-phase-hier": lambda: HierarchicalTwoPhaseStrategy(ranks_per_node=3),
+    "two-phase-hier-1agg": lambda: HierarchicalTwoPhaseStrategy(
+        num_aggregators=1, ranks_per_node=4
+    ),
+    "auto": lambda: AutoStrategy(),
+}
+
+_READ_OUTCOME_FIELDS = (
+    "strategy",
+    "rank",
+    "bytes_requested",
+    "bytes_returned",
+    "bytes_read",
+    "bytes_shuffled",
+    "segments_read",
+    "phases",
+    "my_phase",
+    "colors_used",
+    "start_time",
+    "end_time",
+    "cache_hits",
+    "cache_misses",
+    "extra",
+)
+
+
+def run_both_read(make_strategy, views):
+    """Seed identical files, then read them back via engine and bulk replay."""
+    results = []
+    for reader_cls in (CollectiveReadExecutor, BulkReadExecutor):
+        fs = ParallelFileSystem(fast_fs_config())
+        seed = BulkWriteExecutor(fs, TwoPhaseStrategy(), filename="bulk.dat")
+        seed.run(len(views), lambda rank, P: views[rank], rank_pattern_bytes)
+        reader = reader_cls(fs, make_strategy(), filename="bulk.dat")
+        results.append(reader.run(len(views), lambda rank, P: views[rank]))
+    return results
+
+
+def assert_read_equivalent(engine, bulk):
+    assert bulk.spmd.makespan == engine.spmd.makespan  # exact, no tolerance
+    assert [c.now for c in bulk.spmd.clocks] == [c.now for c in engine.spmd.clocks]
+    assert bulk.data == engine.data
+    for b, e in zip(bulk.outcomes, engine.outcomes):
+        for field in _READ_OUTCOME_FIELDS:
+            assert getattr(b, field) == getattr(e, field), field
+
+
+class TestReadEngineEquivalence:
+    @pytest.mark.parametrize("strategy", list(READ_STRATEGIES))
+    def test_column_wise(self, strategy):
+        views = column_wise_views(M=8, N=256, P=16, R=4)
+        engine, bulk = run_both_read(READ_STRATEGIES[strategy], views)
+        assert_read_equivalent(engine, bulk)
+
+    @pytest.mark.parametrize("strategy", ["two-phase", "two-phase-hier", "auto"])
+    def test_block_block(self, strategy):
+        views = block_block_views(M=24, N=24, Pr=4, Pc=4, R=2)
+        engine, bulk = run_both_read(READ_STRATEGIES[strategy], views)
+        assert_read_equivalent(engine, bulk)
+
+    @pytest.mark.parametrize("strategy", ["two-phase-hier", "auto"])
+    def test_p256(self, strategy):
+        views = column_wise_views(M=4, N=1024, P=256, R=2)
+        engine, bulk = run_both_read(READ_STRATEGIES[strategy], views)
+        assert_read_equivalent(engine, bulk)
+
+    def test_p1024(self):
+        """The differential ceiling of the acceptance criteria."""
+        views = column_wise_views(M=2, N=2048, P=1024, R=2)
+        engine, bulk = run_both_read(
+            lambda: HierarchicalTwoPhaseStrategy(
+                num_aggregators=8, ranks_per_node=8
+            ),
+            views,
+        )
+        assert_read_equivalent(engine, bulk)
+
+
+class TestReadGuardrails:
+    def test_rejects_non_aggregation_strategy(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        with pytest.raises(TypeError):
+            BulkReadExecutor(fs, LockingStrategy())
+
+    def test_rejects_bad_nprocs(self):
+        fs = ParallelFileSystem(fast_fs_config())
+        fs.create("bulk.dat")
+        executor = BulkReadExecutor(fs, TwoPhaseStrategy())
         with pytest.raises(ValueError):
             executor.run(0, lambda rank, P: [(0, 4)])

@@ -18,7 +18,7 @@ from repro.core.aggregation import (
     merge_pieces,
     node_leaders,
 )
-from repro.core.executor import AtomicWriteExecutor
+from repro.core.executor import AtomicWriteExecutor, CollectiveReadExecutor
 from repro.core.rank_ordering import LOWER_RANK_WINS
 from repro.core.registry import default_registry
 from repro.core.strategies import (
@@ -138,6 +138,57 @@ class TestByteIdenticalToFlat:
         flat = run_views(TwoPhaseStrategy(), views)
         hier = run_views(HierarchicalTwoPhaseStrategy(ranks_per_node=ppn), views)
         assert hier.file.store.snapshot() == flat.file.store.snapshot()
+
+
+def run_read_views(strategy, views):
+    """Seed one checkpoint, then read it back collectively under ``strategy``."""
+    fs = ParallelFileSystem(fast_fs_config())
+    seed = AtomicWriteExecutor(fs, TwoPhaseStrategy(), filename="hier.dat")
+    seed.run(len(views), lambda rank, P: views[rank], rank_pattern_bytes)
+    reader = CollectiveReadExecutor(fs, strategy, filename="hier.dat")
+    return reader.run(len(views), lambda rank, P: views[rank])
+
+
+class TestReadByteIdenticalToFlat:
+    """The read-side twin of :class:`TestByteIdenticalToFlat`: the two-level
+    scatter (aggregators -> node leaders -> consumers) must deliver every rank
+    exactly the stream the flat single-level scatter delivers."""
+
+    @pytest.mark.parametrize("workload", list(WORKLOADS))
+    def test_delivered_streams_match_single_level(self, workload):
+        views = WORKLOADS[workload]()
+        flat = run_read_views(TwoPhaseStrategy(), views)
+        hier = run_read_views(
+            HierarchicalTwoPhaseStrategy(ranks_per_node=3), views
+        )
+        assert hier.data == flat.data
+        for h, f in zip(hier.outcomes, flat.outcomes):
+            assert h.bytes_returned == f.bytes_returned
+            assert h.bytes_requested == f.bytes_requested
+
+    def test_leader_role_populated(self):
+        # One global aggregator + 4-rank nodes: ranks 4 (and every later
+        # leader) relay without fetching, exercising the middle hop.
+        views = column_wise_views(M=8, N=256, P=8, R=4)
+        flat = run_read_views(TwoPhaseStrategy(), views)
+        hier = run_read_views(
+            HierarchicalTwoPhaseStrategy(num_aggregators=1, ranks_per_node=4),
+            views,
+        )
+        assert hier.data == flat.data
+        phases = {o.my_phase for o in hier.outcomes}
+        assert phases == {0, 1, 2}  # aggregator, pure leader, plain consumer
+        leaders = [o for o in hier.outcomes if o.my_phase == 1]
+        assert leaders and all(o.bytes_read == 0 for o in leaders)
+
+    @pytest.mark.parametrize("ppn", [1, 2, 8, 64])
+    def test_any_node_shape(self, ppn):
+        views = column_wise_views(M=8, N=256, P=8, R=4)
+        flat = run_read_views(TwoPhaseStrategy(), views)
+        hier = run_read_views(
+            HierarchicalTwoPhaseStrategy(ranks_per_node=ppn), views
+        )
+        assert hier.data == flat.data
 
 
 class TestHierarchicalPlumbing:
