@@ -26,8 +26,12 @@ ranks × phases), from which the wall-clock perf gate derives the
 per-simulated-op cost.  Points run under the adaptive ``auto`` strategy also
 record ``selected`` (the concrete delegate the tuner dispatched to) and the
 derived ``cb_nodes`` / ``cb_ppn`` / ``cb_buffer_size`` hints (read points
-also record ``read_ahead``, the tuner's client-cache coupling).  Like the
-text report,
+also record ``read_ahead``, the tuner's client-cache coupling).  Multi-tenant
+points (:mod:`repro.bench.multitenant`) may carry ``job_id`` (which job of
+the run the entry describes; summary rows omit it), ``offered_load`` (total
+bytes offered across the run's jobs) and ``fairness`` (Jain's index over the
+per-job makespans); all three are optional, so records written before the
+job layer existed still parse.  Like the text report,
 re-recording an experiment replaces its previous entries in place, so the
 file holds exactly one copy of every experiment regardless of how often or
 how partially the benchmarks are re-run.
@@ -88,6 +92,16 @@ def _coerce(entry: Dict) -> Dict:
     # (0/1) the tuner chose for the point.
     if entry.get("read_ahead") is not None:
         out["read_ahead"] = int(entry["read_ahead"])
+    # Multi-tenant fields are optional: `job_id` names which job of a
+    # multi-tenant run the entry describes (summary rows omit it),
+    # `offered_load` the total bytes offered across the run's jobs, and
+    # `fairness` Jain's index over the per-job makespans.
+    if entry.get("job_id") is not None:
+        out["job_id"] = str(entry["job_id"])
+    if entry.get("offered_load") is not None:
+        out["offered_load"] = float(entry["offered_load"])
+    if entry.get("fairness") is not None:
+        out["fairness"] = float(entry["fairness"])
     return out
 
 

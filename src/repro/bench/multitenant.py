@@ -1,0 +1,269 @@
+"""Multi-tenant saturation sweep: concurrent jobs vs one shared file system.
+
+Every other benchmark in :mod:`repro.bench` measures one job on an idle
+machine.  This one sweeps *offered load*: ``n_jobs`` independent SPMD jobs
+(each its own communicator world, rank count and strategy instance) are
+placed on one shared :class:`~repro.fs.filesystem.ParallelFileSystem` by the
+:class:`~repro.jobs.MultiTenantScheduler`, and each sweep point records the
+per-job makespans (p50/p99), Jain's fairness index over them, and the
+aggregate bandwidth the shared file system sustained — the saturation curve
+(bandwidth and fairness vs offered load) of EXPERIMENTS.md.
+
+Jobs share one target file by default, so every point doubles as a
+cross-job atomicity experiment: after the run the union of all jobs'
+globally-ranked views goes through the write-atomicity verifier
+(:func:`~repro.verify.atomicity.check_mpi_atomicity`), and the sweep fails
+loudly if contention ever tore an overlapped region between two tenants.
+
+Results land in ``benchmarks/results/latest.json`` under
+``multitenant/<fs>/j<jobs>xp<ranks>``: one entry per job (carrying
+``job_id`` and ``offered_load``) plus one summary entry (carrying
+``fairness``, ``offered_load``, ``wall_seconds`` and ``ops``; no
+``job_id``).  The CI smoke point (4 jobs x 16 ranks) is additionally gated
+by :mod:`repro.bench.perfgate` with a fairness floor and a wall budget.
+
+Run the sweep (CI uploads the JSON it writes)::
+
+    PYTHONPATH=src python -m repro.bench.multitenant
+    PYTHONPATH=src python -m repro.bench.multitenant --smoke --budget 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..fs.filesystem import ParallelFileSystem
+from ..jobs import JobSpec, MultiTenantResult, MultiTenantScheduler, make_arrivals
+from .jsonlog import record_results
+from .machines import MachineSpec, machine_by_name
+
+__all__ = [
+    "DEFAULT_JOB_COUNTS",
+    "DEFAULT_RANK_COUNTS",
+    "DEFAULT_SHAPE",
+    "DEFAULT_SEED",
+    "SMOKE_POINT",
+    "MultiTenantPoint",
+    "run_multitenant_point",
+    "run_saturation_sweep",
+    "main",
+]
+
+#: The saturation sweep's grid: concurrency levels x per-job rank counts.
+DEFAULT_JOB_COUNTS = (1, 4, 16)
+DEFAULT_RANK_COUNTS = (4, 16)
+
+#: Per-job workload shape (M x N bytes, column-wise with ghost columns).
+DEFAULT_SHAPE = (32, 512)
+
+#: Seed for the stochastic (poisson) arrival process; any fixed value keeps
+#: the sweep deterministic run to run.
+DEFAULT_SEED = 20030804
+
+#: The CI smoke / perf-gate point: (jobs, ranks per job).
+SMOKE_POINT = (4, 16)
+
+
+@dataclass
+class MultiTenantPoint:
+    """One sweep point: the scheduler result plus its jsonlog entries."""
+
+    machine: MachineSpec
+    n_jobs: int
+    nprocs: int
+    strategy: str
+    result: MultiTenantResult
+    #: Whether the cross-job write-atomicity verifier passed on every file.
+    atomic_ok: bool
+    #: Per-job entries (with ``job_id``) followed by the summary entry.
+    entries: List[Dict] = field(default_factory=list)
+
+    @property
+    def summary(self) -> Dict:
+        """The point's summary entry (fairness, offered load, wall clock)."""
+        return self.entries[-1]
+
+    @property
+    def experiment(self) -> str:
+        """The jsonlog experiment name this point files under."""
+        return (
+            f"multitenant/{self.machine.file_system.lower()}"
+            f"/j{self.n_jobs}xp{self.nprocs}"
+        )
+
+
+def _specs_for_point(
+    n_jobs: int,
+    nprocs: int,
+    strategy: str,
+    shape: Tuple[int, int],
+    shared_file: bool,
+) -> List[JobSpec]:
+    M, N = shape
+    specs = []
+    for i in range(n_jobs):
+        filename = "/multitenant/shared.dat" if shared_file else f"/multitenant/job{i}.dat"
+        specs.append(
+            JobSpec(
+                job_id=f"job{i}",
+                nprocs=nprocs,
+                M=M,
+                N=N,
+                filename=filename,
+                mode="write",
+                strategy=strategy,
+            )
+        )
+    return specs
+
+
+def run_multitenant_point(
+    machine: MachineSpec,
+    n_jobs: int,
+    nprocs: int,
+    strategy: str = "two-phase",
+    arrival_kind: str = "staggered",
+    shape: Tuple[int, int] = DEFAULT_SHAPE,
+    shared_file: bool = True,
+    seed: int = DEFAULT_SEED,
+    timeout: Optional[float] = 120.0,
+) -> MultiTenantPoint:
+    """Run one (jobs x ranks) point and build its jsonlog entries.
+
+    All jobs write; with ``shared_file`` they race on one file (the
+    contended, atomicity-relevant configuration), otherwise each gets a
+    private file (pure server/link contention).  The write-atomicity
+    verifier runs across every file jobs touched.
+    """
+    fs = ParallelFileSystem(machine.make_fs_config())
+    scheduler = MultiTenantScheduler(fs, timeout=timeout)
+    specs = _specs_for_point(n_jobs, nprocs, strategy, shape, shared_file)
+    arrivals = make_arrivals(arrival_kind, n_jobs, seed=seed)
+    result = scheduler.run(specs, arrivals=arrivals)
+
+    atomic_ok = all(
+        result.verify_write_atomicity(filename).ok
+        for filename in sorted({s.filename for s in specs})
+    )
+
+    entries: List[Dict] = [
+        {
+            "P": nprocs,
+            "strategy": strategy,
+            "makespan": job.makespan,
+            "bytes": job.bytes_requested,
+            "job_id": job.spec.job_id,
+            "offered_load": result.offered_load,
+        }
+        for job in result.jobs
+    ]
+    entries.append(
+        {
+            "P": n_jobs * nprocs,
+            "strategy": strategy,
+            "makespan": result.summary["max_makespan"],
+            "bytes": result.total_bytes_requested,
+            "wall_seconds": result.wall_seconds,
+            "ops": n_jobs * nprocs,
+            "offered_load": result.offered_load,
+            "fairness": result.fairness,
+        }
+    )
+    return MultiTenantPoint(
+        machine=machine,
+        n_jobs=n_jobs,
+        nprocs=nprocs,
+        strategy=strategy,
+        result=result,
+        atomic_ok=atomic_ok,
+        entries=entries,
+    )
+
+
+def run_saturation_sweep(
+    machine: MachineSpec,
+    job_counts: Sequence[int] = DEFAULT_JOB_COUNTS,
+    rank_counts: Sequence[int] = DEFAULT_RANK_COUNTS,
+    strategy: str = "two-phase",
+    arrival_kind: str = "staggered",
+    seed: int = DEFAULT_SEED,
+) -> List[MultiTenantPoint]:
+    """The full grid: every concurrency level at every per-job rank count."""
+    return [
+        run_multitenant_point(
+            machine, n_jobs, nprocs,
+            strategy=strategy, arrival_kind=arrival_kind, seed=seed,
+        )
+        for n_jobs in job_counts
+        for nprocs in rank_counts
+    ]
+
+
+def _parse_counts(text: str) -> Tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exits non-zero on an atomicity or budget failure."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--machine", default="IBM SP")
+    parser.add_argument("--jobs", default=",".join(map(str, DEFAULT_JOB_COUNTS)),
+                        help="comma-separated concurrency levels")
+    parser.add_argument("--ranks", default=",".join(map(str, DEFAULT_RANK_COUNTS)),
+                        help="comma-separated per-job rank counts")
+    parser.add_argument("--strategy", default="two-phase")
+    parser.add_argument("--arrival", default="staggered",
+                        help="arrival process: batch, staggered or poisson")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="host wall-clock budget (seconds) over the whole sweep")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"run only the CI smoke point {SMOKE_POINT}")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    machine = machine_by_name(args.machine)
+    if args.smoke:
+        job_counts, rank_counts = (SMOKE_POINT[0],), (SMOKE_POINT[1],)
+    else:
+        job_counts, rank_counts = _parse_counts(args.jobs), _parse_counts(args.ranks)
+
+    points = run_saturation_sweep(
+        machine, job_counts, rank_counts,
+        strategy=args.strategy, arrival_kind=args.arrival, seed=args.seed,
+    )
+    problems: List[str] = []
+    total_wall = 0.0
+    for point in points:
+        record_results(point.experiment, point.entries)
+        summary = point.summary
+        total_wall += summary["wall_seconds"]
+        print(
+            f"{point.experiment}: offered {summary['offered_load']:.0f} B, "
+            f"p50 {point.result.summary['p50_makespan']:.6f}s, "
+            f"p99 {point.result.summary['p99_makespan']:.6f}s, "
+            f"fairness {summary['fairness']:.4f}, "
+            f"bandwidth {point.result.bandwidth / 1e6:.2f} MB/s, "
+            f"wall {summary['wall_seconds']:.2f}s"
+        )
+        if not point.atomic_ok:
+            problems.append(
+                f"{point.experiment}: cross-job write atomicity violated"
+            )
+    if args.budget is not None and total_wall > args.budget:
+        problems.append(
+            f"sweep wall clock {total_wall:.2f}s exceeds the "
+            f"{args.budget:.2f}s budget"
+        )
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print(f"multitenant sweep ok ({len(points)} points, wall {total_wall:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

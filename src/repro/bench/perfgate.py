@@ -19,7 +19,10 @@ absolute form (a per-op ceiling) used by the extended Section 3.4 sweeps.
 Both I/O directions are gated: the write workloads and the read-back twins
 (the hierarchical bulk-read point, the adaptive read grid under
 :data:`ADAPTIVE_READ_PREFIX`) go through the same relative, wall-clock and
-adaptive checks.
+adaptive checks.  The multi-tenant smoke point
+(:func:`measure_multitenant`) adds cross-job absolute gates on top: write
+atomicity across jobs racing on one shared file, a Jain-fairness floor at
+equal offered load, and its own wall budget.
 
 Intentional performance changes update the baseline explicitly::
 
@@ -49,10 +52,13 @@ __all__ = [
     "DEFAULT_ADAPTIVE_FACTOR",
     "ADAPTIVE_PREFIX",
     "ADAPTIVE_READ_PREFIX",
+    "DEFAULT_FAIRNESS_FLOOR",
+    "DEFAULT_MULTITENANT_WALL_BUDGET_PER_OP",
     "measure",
     "measure_adaptive",
     "measure_adaptive_read",
     "measure_plan_cache",
+    "measure_multitenant",
     "compare",
     "check_wall",
     "check_adaptive",
@@ -93,6 +99,19 @@ ADAPTIVE_READ_PREFIX = "perfgate/adaptive-read/"
 #: host time of exactly the work a hit elides, so the margin is wide (~4-7x
 #: in practice) and robust against scheduler noise.
 DEFAULT_PLAN_CACHE_FACTOR = 0.5
+
+#: Absolute wall ceiling per simulated rank-op for the multi-tenant smoke
+#: point.  A multi-tenant rank-op is costlier on the host than a single-job
+#: one (cross-job token churn, lock contention, per-job clock bookkeeping),
+#: so it gets its own budget — still tight enough to catch an
+#: order-of-magnitude scheduler regression, at ~3x the observed cost.
+DEFAULT_MULTITENANT_WALL_BUDGET_PER_OP = 5e-3
+
+#: The multi-tenant smoke point must keep Jain's fairness index over the
+#: per-job makespans at or above this floor: identical jobs arriving
+#: together (equal offered load) must finish in near-equal time, so a drop
+#: means the shared-file-system scheduling started starving a tenant.
+DEFAULT_FAIRNESS_FLOOR = 0.8
 
 #: The gated workloads: quick, deterministic, all exercising the two-phase
 #: strategy (the performance centrepiece the roadmap tracks).
@@ -311,6 +330,53 @@ def measure_plan_cache(
     return {"perfgate/plan-cache": entries_from_records([on, off])}, problems
 
 
+def measure_multitenant(
+    fairness_floor: float = DEFAULT_FAIRNESS_FLOOR,
+    budget_per_op: float = DEFAULT_MULTITENANT_WALL_BUDGET_PER_OP,
+) -> tuple:
+    """The multi-tenant smoke point and its absolute gates.
+
+    Runs the CI smoke configuration (:data:`~repro.bench.multitenant.
+    SMOKE_POINT`: 4 identical jobs x 16 ranks, batch arrivals so every
+    tenant offers equal load, all racing on one shared file) and returns
+    ``(experiments, problems)``:
+
+    * **atomicity** — the cross-job write-atomicity verifier holds over the
+      union of every job's globally-ranked views on the shared file;
+    * **fairness** — Jain's index over the per-job makespans stays at or
+      above ``fairness_floor`` (equal offered load must mean near-equal
+      completion);
+    * **wall clock** — the point stays under the absolute per-simulated-op
+      budget, so the multi-tenant smoke cannot silently blow the CI wall.
+
+    Exactly one summary entry is filed under ``perfgate/multitenant`` (the
+    per-job entries live in the non-gated ``multitenant/*`` sweep
+    experiments), keeping the gate's ``(P, strategy)`` index unique.
+    """
+    from .multitenant import SMOKE_POINT, run_multitenant_point
+    from .machines import machine_by_name
+
+    n_jobs, nprocs = SMOKE_POINT
+    point = run_multitenant_point(
+        machine_by_name("IBM SP"), n_jobs, nprocs, arrival_kind="batch"
+    )
+    problems: List[str] = []
+    if not point.atomic_ok:
+        problems.append(
+            "multitenant: cross-job write atomicity violated on the shared file"
+        )
+    fairness = point.result.fairness
+    if fairness < fairness_floor:
+        problems.append(
+            f"multitenant: Jain fairness {fairness:.4f} over the per-job "
+            f"makespans is below the {fairness_floor:g} floor at equal "
+            "offered load"
+        )
+    summary = point.summary
+    problems += check_wall([summary], budget_per_op, experiment="perfgate/multitenant")
+    return {"perfgate/multitenant": [summary]}, problems
+
+
 def _index(entries: Sequence[Dict]) -> Dict:
     """Index entries by ``(P, strategy)``; duplicates are a hard error.
 
@@ -437,6 +503,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     measured.update(measure_adaptive_read())
     plan_experiments, absolute_problems = measure_plan_cache()
     measured.update(plan_experiments)
+    mt_experiments, mt_problems = measure_multitenant()
+    measured.update(mt_experiments)
+    absolute_problems = absolute_problems + mt_problems
     for experiment, entries in measured.items():
         record_results(experiment, entries)
         for entry in entries:

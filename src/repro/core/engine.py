@@ -195,6 +195,7 @@ class Task:
         "traceback_text",
         "deadlocked",
         "detached",
+        "tag",
         "_thread",
         "_resume",
         "_wake_value",
@@ -204,13 +205,15 @@ class Task:
     )
 
     def __init__(self, engine: "Engine", tid: int, fn: Callable[[], Any],
-                 name: str, clock: VirtualClock, detached: bool = False) -> None:
+                 name: str, clock: VirtualClock, detached: bool = False,
+                 tag: Optional[str] = None) -> None:
         self.engine = engine
         self.tid = tid
         self.name = name
         self.fn = fn
         self.clock = clock
         self.detached = detached
+        self.tag = tag
         self.state = Task.NEW
         self.wait_reason = ""
         self.result: Any = None
@@ -280,11 +283,15 @@ class Engine:
     # -- task creation ----------------------------------------------------------
 
     def spawn(self, fn: Callable[[], Any], name: Optional[str] = None,
-              clock: Optional[VirtualClock] = None, detached: bool = False) -> Task:
+              clock: Optional[VirtualClock] = None, detached: bool = False,
+              tag: Optional[str] = None) -> Task:
         """Register a task; it becomes ready at its clock's current time.
 
         Tasks spawned earlier win scheduling ties, so spawning in rank order
-        gives the rank-id tiebreak the determinism guarantee relies on.
+        gives the rank-id tiebreak the determinism guarantee relies on.  A
+        task whose clock is already advanced (a job arriving at a later
+        virtual time in the multi-tenant scheduler) simply becomes ready at
+        that later time — the ready heap orders on ``(clock.now, tid)``.
 
         ``detached=True`` marks a *progress task*: a helper spawned from
         inside a running task (e.g. the execution of a nonblocking file
@@ -292,10 +299,14 @@ class Engine:
         rather than through the run's per-rank error collection.  Spawning
         mid-run is safe — exactly one task executes at a time, so the ready
         heap is never mutated concurrently.
+
+        ``tag`` is a free-form attribution label (the owning job's id in the
+        multi-tenant scheduler) carried on the task for error reporting and
+        diagnostics; the engine itself never interprets it.
         """
         tid = next(self._tids)
         task = Task(self, tid, fn, name or f"task-{tid}", clock or VirtualClock(),
-                    detached=detached)
+                    detached=detached, tag=tag)
         self.tasks.append(task)
         task.state = Task.READY
         heapq.heappush(self._ready, (task.clock.now, task.tid, task))

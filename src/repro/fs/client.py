@@ -43,10 +43,20 @@ class FSClient:
         fs: ParallelFileSystem,
         client_id: int,
         clock: Optional[VirtualClock] = None,
+        provenance_base: int = 0,
     ) -> None:
         self.fs = fs
         self.client_id = client_id
         self.clock = clock if clock is not None else VirtualClock()
+        #: Offset added to explicit per-write provenance overrides.  The
+        #: atomicity strategies attribute aggregated writes to *communicator
+        #: ranks*; when several independent SPMD jobs share one file system
+        #: (the multi-tenant scheduler), each job sets its clients'
+        #: ``provenance_base`` to the job's global rank offset so recorded
+        #: provenance stays globally unique and cross-job atomicity remains
+        #: verifiable.  A single-world run keeps the default of 0, leaving
+        #: provenance byte-identical to the direct engine path.
+        self.provenance_base = provenance_base
         self.link = Resource(f"client-link-{client_id}", fs.config.client_link_cost)
         self._handles: Dict[str, "ClientFileHandle"] = {}
 
@@ -108,9 +118,11 @@ class ClientFileHandle:
         """Server write including virtual-time charging (used by the cache
         write-back path and by direct writes)."""
         self._charge_transfer(offset, len(data))
-        self.file.server_write(
-            offset, data, writer=self.client.client_id if writer is None else writer
-        )
+        if writer is None:
+            writer = self.client.client_id
+        else:
+            writer += self.client.provenance_base
+        self.file.server_write(offset, data, writer=writer)
 
     def _timed_fetch(self, offset: int, nbytes: int) -> bytes:
         """Server read including virtual-time charging."""

@@ -1,0 +1,83 @@
+"""Fairness and latency summaries for multi-tenant runs.
+
+The multi-tenant benchmark reports three families of numbers per sweep
+point: per-job makespan percentiles (p50/p99), Jain's fairness index over
+the per-job makespans, and the aggregate bandwidth the shared file system
+sustained over the whole run window.  These are deliberately dependency-free
+and defined for tiny sample counts (a single job is a legitimate sweep
+point), with the edge cases pinned by ``tests/test_jobs_metrics.py`` before
+anything is wired into the harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = [
+    "jains_index",
+    "percentile",
+    "summarize_makespans",
+    "aggregate_bandwidth",
+]
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)`` over ``values``.
+
+    1.0 means perfectly equal allocations, ``1/n`` means one participant got
+    everything.  Conventions for the degenerate inputs: an empty sample and
+    the all-zero sample (nobody waited, nobody was starved) are perfectly
+    fair (1.0).  Negative values have no fairness meaning and raise.
+    """
+    xs = [float(v) for v in values]
+    if any(v < 0 for v in xs):
+        raise ValueError("Jain's index is defined for non-negative values")
+    if not xs:
+        return 1.0
+    square_sum = sum(v * v for v in xs)
+    if square_sum == 0.0:
+        return 1.0
+    total = sum(xs)
+    return (total * total) / (len(xs) * square_sum)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` with linear interpolation.
+
+    Matches ``numpy.percentile``'s default (``linear``) definition: the
+    sorted sample is indexed at ``(n - 1) * q / 100`` and fractional
+    positions interpolate between the two neighbours.  Tiny samples behave
+    sensibly: one value is every percentile of itself, and p99 of two values
+    sits just under the larger one.  An empty sample raises.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    xs = sorted(float(v) for v in values)
+    if not xs:
+        raise ValueError("percentile of an empty sample is undefined")
+    pos = (len(xs) - 1) * (q / 100.0)
+    lo = int(pos)
+    frac = pos - lo
+    if frac == 0.0:
+        return xs[lo]
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac
+
+
+def summarize_makespans(makespans: Sequence[float]) -> Dict[str, float]:
+    """The per-job latency digest the benchmark records for one sweep point:
+    p50/p99/max makespan plus Jain's fairness index over the sample."""
+    return {
+        "p50_makespan": percentile(makespans, 50.0),
+        "p99_makespan": percentile(makespans, 99.0),
+        "max_makespan": max(float(v) for v in makespans),
+        "fairness": jains_index(makespans),
+    }
+
+
+def aggregate_bandwidth(total_bytes: int, window_seconds: float) -> float:
+    """Bytes per second the substrate moved over the run window
+    (first arrival to last completion).  A zero-length window with traffic
+    is infinitely fast; with no traffic it is zero."""
+    if window_seconds <= 0.0:
+        return float("inf") if total_bytes else 0.0
+    return total_bytes / window_seconds

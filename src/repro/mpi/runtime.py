@@ -27,14 +27,14 @@ ranks still blocked when nothing can run anymore are reported with a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.engine import Engine, Task
 from .clock import VirtualClock
 from .comm import CommCostModel, Communicator, _CommGroup
 from .errors import CollectiveAbortedError, DeadlockError, SPMDExecutionError
 
-__all__ = ["SPMDResult", "run_spmd"]
+__all__ = ["SPMDResult", "run_spmd", "spawn_world", "collect_rank_failures"]
 
 #: How long a rank stuck past the deadline gets to unwind before the run is
 #: reported as timed out.
@@ -66,6 +66,70 @@ class SPMDResult:
     def makespan(self) -> float:
         """Virtual time at which the slowest rank finished."""
         return max((c.now for c in self.clocks), default=0.0)
+
+
+def spawn_world(
+    engine: Engine,
+    group: _CommGroup,
+    fn: Callable[..., Any],
+    *args: Any,
+    name_prefix: str = "mpi-rank",
+    tag: Optional[str] = None,
+    **kwargs: Any,
+) -> List[Task]:
+    """Spawn one engine task per rank of ``group`` running ``fn(comm, ...)``.
+
+    The world-construction half of :func:`run_spmd`, reusable by schedulers
+    that multiplex several independent SPMD worlds onto one engine (the
+    multi-tenant job layer, :mod:`repro.jobs.scheduler`): each rank gets a
+    :class:`~repro.mpi.comm.Communicator` facade over ``group`` and runs on
+    the group's per-rank clock, so a group whose clocks start at a later
+    virtual time simply becomes runnable at that time.  Tasks are spawned in
+    rank order (the determinism tiebreak) and labelled
+    ``{name_prefix}-{rank}`` with attribution ``tag``.
+    """
+
+    def make_rank_main(rank: int) -> Callable[[], Any]:
+        comm = Communicator(group, rank)
+
+        def rank_main() -> Any:
+            return fn(comm, *args, **kwargs)
+
+        return rank_main
+
+    return [
+        engine.spawn(
+            make_rank_main(rank),
+            name=f"{name_prefix}-{rank}",
+            clock=group.clocks[rank],
+            tag=tag,
+        )
+        for rank in range(group.size)
+    ]
+
+
+def collect_rank_failures(
+    tasks: List[Task],
+) -> Tuple[Dict[int, BaseException], Dict[int, str]]:
+    """Per-rank failures (and rank-local tracebacks) after an engine run.
+
+    Maps each failed task to its exception and each deadlock-cancelled task
+    to a :class:`~repro.mpi.errors.DeadlockError` naming what it was blocked
+    on; the index into ``tasks`` (the rank number) keys both dicts.
+    """
+    failures: Dict[int, BaseException] = {}
+    tracebacks: Dict[int, str] = {}
+    for rank, task in enumerate(tasks):
+        if task.state == Task.FAILED:
+            failures[rank] = task.error
+            if task.traceback_text:
+                tracebacks[rank] = task.traceback_text
+        elif task.state == Task.CANCELLED and task.deadlocked:
+            failures[rank] = DeadlockError(
+                f"rank {rank} was still blocked on {task.wait_reason or '<unknown>'} "
+                "when no rank could make progress"
+            )
+    return failures, tracebacks
 
 
 def run_spmd(
@@ -110,19 +174,7 @@ def run_spmd(
 
     engine = Engine(name="spmd")
     group = _CommGroup(nprocs, cost_model=comm_cost, engine=engine)
-
-    def make_rank_main(rank: int) -> Callable[[], Any]:
-        comm = Communicator(group, rank)
-
-        def rank_main() -> Any:
-            return fn(comm, *args, **kwargs)
-
-        return rank_main
-
-    tasks = [
-        engine.spawn(make_rank_main(rank), name=f"mpi-rank-{rank}", clock=group.clocks[rank])
-        for rank in range(nprocs)
-    ]
+    tasks = spawn_world(engine, group, fn, *args, **kwargs)
 
     # Release peers blocked in a collective with a failed rank (the
     # event-driven counterpart of the old barrier abort).  Detached progress
@@ -143,18 +195,7 @@ def run_spmd(
 
     engine.run(timeout=timeout, grace=_TIMEOUT_GRACE_SECONDS)
 
-    failures: Dict[int, BaseException] = {}
-    tracebacks: Dict[int, str] = {}
-    for rank, task in enumerate(tasks):
-        if task.state == Task.FAILED:
-            failures[rank] = task.error
-            if task.traceback_text:
-                tracebacks[rank] = task.traceback_text
-        elif task.state == Task.CANCELLED and task.deadlocked:
-            failures[rank] = DeadlockError(
-                f"rank {rank} was still blocked on {task.wait_reason or '<unknown>'} "
-                "when no rank could make progress"
-            )
+    failures, tracebacks = collect_rank_failures(tasks)
 
     if engine.timed_out:
         # Timeout entries take precedence over errors the teardown provoked

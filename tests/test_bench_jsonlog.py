@@ -1,0 +1,100 @@
+"""Schema tests for the JSON results log.
+
+Pins the backward compatibility contract of the multi-tenant extension:
+records written before the job layer existed (no ``job_id`` /
+``offered_load`` / ``fairness``) must still parse, the new fields must
+round-trip through ``record_results`` with coerced types, and absent
+optional fields must stay absent rather than appearing as nulls.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.jsonlog import (
+    SCHEMA_VERSION,
+    _coerce,
+    load_results,
+    record_results,
+)
+
+MINIMAL = {"P": 4, "strategy": "two-phase", "makespan": 0.5, "bytes": 1024}
+
+
+class TestCoerce:
+    def test_minimal_pre_job_layer_record_parses(self):
+        out = _coerce(dict(MINIMAL))
+        assert out == {
+            "P": 4,
+            "strategy": "two-phase",
+            "makespan": 0.5,
+            "bytes": 1024,
+        }
+
+    def test_absent_optional_fields_stay_absent(self):
+        out = _coerce(dict(MINIMAL))
+        for key in ("job_id", "offered_load", "fairness", "wall_seconds"):
+            assert key not in out
+
+    def test_multitenant_fields_coerce_types(self):
+        entry = dict(
+            MINIMAL, job_id=7, offered_load="73216", fairness="0.95"
+        )
+        out = _coerce(entry)
+        assert out["job_id"] == "7"
+        assert out["offered_load"] == 73216.0
+        assert out["fairness"] == 0.95
+
+    def test_summary_row_without_job_id(self):
+        entry = dict(MINIMAL, offered_load=1e6, fairness=1.0, wall_seconds=0.25, ops=64)
+        out = _coerce(entry)
+        assert "job_id" not in out
+        assert out["fairness"] == 1.0
+        assert out["ops"] == 64
+
+    def test_required_fields_still_required(self):
+        with pytest.raises(KeyError):
+            _coerce({"strategy": "two-phase", "makespan": 0.5, "bytes": 1})
+
+
+class TestRoundTrip:
+    def test_old_file_gains_new_experiment_without_breaking(self, tmp_path):
+        # A latest.json written before the job layer existed...
+        path = tmp_path / "latest.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "experiments": {"perfgate/two-phase-write": [dict(MINIMAL)]},
+                }
+            ),
+            encoding="utf-8",
+        )
+        # ...accepts a multi-tenant experiment alongside the old one.
+        record_results(
+            "multitenant/gpfs/j4xp16",
+            [
+                dict(MINIMAL, job_id="job0", offered_load=73216.0),
+                dict(MINIMAL, P=64, offered_load=73216.0, fairness=0.99),
+            ],
+            path=path,
+        )
+        doc = load_results(path)
+        assert set(doc["experiments"]) == {
+            "perfgate/two-phase-write",
+            "multitenant/gpfs/j4xp16",
+        }
+        old = doc["experiments"]["perfgate/two-phase-write"][0]
+        assert "job_id" not in old and "offered_load" not in old
+        per_job, summary = doc["experiments"]["multitenant/gpfs/j4xp16"]
+        assert per_job["job_id"] == "job0"
+        assert summary["fairness"] == 0.99
+
+    def test_recorded_multitenant_entries_survive_json_round_trip(self, tmp_path):
+        path = tmp_path / "latest.json"
+        entries = [dict(MINIMAL, job_id="a", offered_load=10.0, fairness=1.0)]
+        record_results("multitenant/x", entries, path=path)
+        loaded = load_results(path)["experiments"]["multitenant/x"]
+        assert loaded == [_coerce(e) for e in entries]

@@ -217,6 +217,9 @@ class TestUpdateBaselineRefusal:
         monkeypatch.setattr(
             perfgate, "measure_plan_cache", lambda: ({}, list(plan_problems))
         )
+        monkeypatch.setattr(
+            perfgate, "measure_multitenant", lambda: ({}, [])
+        )
         return baseline
 
     def test_passing_tree_updates_then_gates_green(self, monkeypatch, tmp_path):
@@ -254,3 +257,45 @@ class TestUpdateBaselineRefusal:
         )
         assert perfgate.main([]) == 1
         assert baseline.exists()  # the failure never rewrites the reference
+
+    def test_multitenant_failure_refuses_to_write(self, monkeypatch, tmp_path):
+        baseline = self._patch(
+            monkeypatch, tmp_path, {EXP: adaptive_point(0.9, 1.0)}, []
+        )
+        monkeypatch.setattr(
+            perfgate,
+            "measure_multitenant",
+            lambda: ({}, ["multitenant: fairness below floor"]),
+        )
+        assert perfgate.main(["--update-baseline"]) == 1
+        assert not baseline.exists()
+
+
+class TestMultitenantGate:
+    """The multi-tenant smoke point's absolute gates (fairness, atomicity,
+    wall budget) run without a baseline, like the plan-cache checks."""
+
+    def test_smoke_point_passes_the_default_gates(self):
+        experiments, problems = perfgate.measure_multitenant()
+        assert problems == []
+        entries = experiments["perfgate/multitenant"]
+        # Exactly one summary entry — per-job rows would collide in the
+        # gate's (P, strategy) index — carrying the cross-job fields.
+        assert len(entries) == 1
+        summary = entries[0]
+        assert "job_id" not in summary
+        assert 0.0 < summary["fairness"] <= 1.0
+        assert summary["offered_load"] > 0
+        assert summary["ops"] > 0 and summary["wall_seconds"] > 0
+        # The summary indexes cleanly alongside the other gated entries.
+        _index(entries)
+
+    def test_fairness_floor_trips(self):
+        # An impossible floor (> 1, the index's maximum) must always trip,
+        # whatever the measured value.
+        _, problems = perfgate.measure_multitenant(fairness_floor=1.5)
+        assert any("fairness" in p for p in problems)
+
+    def test_wall_budget_trips(self):
+        _, problems = perfgate.measure_multitenant(budget_per_op=1e-12)
+        assert any("wall clock" in p for p in problems)

@@ -1,0 +1,150 @@
+"""Cross-job atomicity: independent jobs racing on one shared file.
+
+The multi-tenant counterpart of ``test_integration_atomicity.py``: two
+complete SPMD jobs — separate communicator worlds, separate strategy
+instances, globally distinct client ids — issue collective writes (and
+reads) against the *same* file on one shared file system, under every
+registered atomicity strategy and both per-job rank counts of the issue's
+acceptance grid (P in {4, 16}).
+
+Three race configurations are pinned:
+
+* **write vs write** (batch arrivals): with both tenants running the same
+  atomic strategy, each overlapped region must end up wholly from one
+  writer, on both the lock-based (GPFS) and lock-free (ENFS) personalities
+  each strategy supports.  Tenants running *different* strategies have no
+  cross-job serialisation (neither takes file-system locks), and the
+  companion negative test pins that the verifier detects the resulting
+  tear.
+* **write vs read, racing** (batch arrivals): only byte-range locking
+  serialises a reader *against* a concurrent writer (the paper's Section 2
+  rationale), so the racing read test runs under ``locking``.
+* **write then read** (the reader arrives after the writer completed):
+  every strategy must deliver a serialisable — here fully committed — view
+  to a later tenant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.machines import CPLANT, IBM_SP
+from repro.fs.filesystem import ParallelFileSystem
+from repro.core.registry import default_registry
+from repro.jobs import JobSpec, MultiTenantScheduler
+
+M, N = 8, 128
+SHARED = "/contended.dat"
+RANK_COUNTS = (4, 16)
+
+ATOMIC_ON_GPFS = [
+    name
+    for name in default_registry.atomic_names()
+    if default_registry.supported_on(name, supports_locking=True)
+]
+ATOMIC_ON_ENFS = [
+    name
+    for name in default_registry.atomic_names()
+    if default_registry.supported_on(name, supports_locking=False)
+]
+
+
+def run_jobs(machine, specs, arrivals=None):
+    fs = ParallelFileSystem(machine.make_fs_config())
+    return MultiTenantScheduler(fs, timeout=120.0).run(specs, arrivals=arrivals)
+
+
+def job(job_id, nprocs, strategy, mode="write"):
+    return JobSpec(
+        job_id, nprocs=nprocs, M=M, N=N, filename=SHARED,
+        mode=mode, strategy=strategy,
+    )
+
+
+class TestWriteWriteRace:
+    @pytest.mark.parametrize("strategy", ATOMIC_ON_GPFS)
+    @pytest.mark.parametrize("nprocs", RANK_COUNTS)
+    def test_two_racing_write_jobs_stay_atomic_on_gpfs(self, strategy, nprocs):
+        result = run_jobs(
+            IBM_SP,
+            [job("alpha", nprocs, strategy), job("beta", nprocs, strategy)],
+        )
+        report = result.verify_write_atomicity(SHARED)
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("strategy", ATOMIC_ON_ENFS)
+    @pytest.mark.parametrize("nprocs", RANK_COUNTS)
+    def test_two_racing_write_jobs_stay_atomic_without_locks(self, strategy, nprocs):
+        result = run_jobs(
+            CPLANT,
+            [job("alpha", nprocs, strategy), job("beta", nprocs, strategy)],
+        )
+        report = result.verify_write_atomicity(SHARED)
+        assert report.ok, report.violations
+
+    def test_mixed_strategy_tenants_can_tear_and_are_detected(self):
+        # The limits of negotiation-based atomicity, cross-tenant: when the
+        # two jobs run *different* strategies (here two-phase vs
+        # graph-coloring), neither takes file-system locks and their phase
+        # timings interleave asymmetrically, so no serial order of the
+        # write requests explains the outcome — exactly the paper's point
+        # that atomicity across independent jobs needs file-system
+        # enforcement, not per-communicator negotiation.  The verifier must
+        # report the tear, deterministically.
+        result = run_jobs(
+            IBM_SP,
+            [job("tp", 4, "two-phase"), job("gc", 4, "graph-coloring")],
+        )
+        report = result.verify_write_atomicity(SHARED)
+        assert not report.ok
+        assert any(v.kind == "interleaved" for v in report.violations)
+
+
+class TestWriteReadRace:
+    @pytest.mark.parametrize("nprocs", RANK_COUNTS)
+    def test_racing_reader_is_serialised_by_locking(self, nprocs):
+        result = run_jobs(
+            IBM_SP,
+            [
+                job("writer", nprocs, "locking", mode="write"),
+                job("reader", nprocs, "locking", mode="read"),
+            ],
+        )
+        assert result.verify_write_atomicity(SHARED).ok
+        report = result.verify_read_atomicity(SHARED, baseline=bytes(M * N))
+        assert report.ok, report.violations
+
+    @pytest.mark.parametrize("strategy", ATOMIC_ON_GPFS)
+    @pytest.mark.parametrize("nprocs", RANK_COUNTS)
+    def test_later_reader_sees_committed_writes(self, strategy, nprocs):
+        # The reader arrives long after the writer's makespan, so every
+        # strategy — locking or not — must deliver the committed bytes.
+        result = run_jobs(
+            IBM_SP,
+            [
+                job("writer", nprocs, strategy, mode="write"),
+                job("reader", nprocs, strategy, mode="read"),
+            ],
+            arrivals=[0.0, 30.0],
+        )
+        writer, reader = result.jobs
+        assert writer.finish < reader.arrival, (
+            "test premise broken: the writer must complete before the "
+            "reader arrives"
+        )
+        report = result.verify_read_atomicity(SHARED, baseline=bytes(M * N))
+        assert report.ok, report.violations
+
+
+class TestManyTenants:
+    def test_four_jobs_racing_on_one_file(self):
+        result = run_jobs(
+            IBM_SP,
+            [job(f"job{i}", 4, "two-phase") for i in range(4)],
+        )
+        report = result.verify_write_atomicity(SHARED)
+        assert report.ok, report.violations
+        # All four tenants' provenance ranges are disjoint and all present.
+        store = result.fs.lookup(SHARED).store
+        writers = set(store.distinct_writers(0, store.size))
+        assert writers <= set(range(16))

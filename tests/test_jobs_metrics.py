@@ -1,0 +1,112 @@
+"""Unit tests for the multi-tenant fairness/latency metrics.
+
+These pin the edge-case conventions *before* the metrics are wired into the
+benchmark harness: Jain's index on degenerate samples (empty, single job,
+all-zero, one straggler), percentile behaviour on tiny samples (a single
+job is a legitimate sweep point), and the bandwidth conventions for a
+zero-length window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.jobs import aggregate_bandwidth, jains_index, percentile
+from repro.jobs.metrics import summarize_makespans
+
+
+class TestJainsIndex:
+    def test_single_job_is_perfectly_fair(self):
+        assert jains_index([3.7]) == 1.0
+
+    def test_equal_makespans_are_perfectly_fair(self):
+        assert jains_index([2.0, 2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_one_straggler_lowers_the_index(self):
+        # Three quick jobs and one 10x straggler: fairness drops well below
+        # 1.0 but stays above the 1/n floor.
+        value = jains_index([1.0, 1.0, 1.0, 10.0])
+        assert 0.25 < value < 0.5
+        assert value == pytest.approx(169.0 / (4 * 103.0))
+
+    def test_total_starvation_approaches_one_over_n(self):
+        assert jains_index([0.0, 0.0, 0.0, 8.0]) == pytest.approx(0.25)
+
+    def test_empty_sample_is_fair(self):
+        assert jains_index([]) == 1.0
+
+    def test_all_zero_sample_is_fair(self):
+        # Nobody waited, nobody was starved.
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_negative_values_raise(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            jains_index([1.0, -0.1])
+
+    def test_scale_invariance(self):
+        sample = [1.0, 2.0, 3.0]
+        assert jains_index(sample) == pytest.approx(
+            jains_index([1000 * v for v in sample])
+        )
+
+
+class TestPercentile:
+    def test_single_value_is_every_percentile(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([4.2], q) == 4.2
+
+    def test_p50_of_two_values_is_the_midpoint(self):
+        assert percentile([1.0, 3.0], 50.0) == pytest.approx(2.0)
+
+    def test_p99_of_two_values_sits_just_under_the_larger(self):
+        assert percentile([1.0, 3.0], 99.0) == pytest.approx(1.0 + 2.0 * 0.99)
+
+    def test_matches_numpy_linear_definition(self):
+        numpy = pytest.importorskip("numpy")
+        sample = [0.3, 1.7, 2.2, 9.0, 4.4]
+        for q in (0, 10, 50, 90, 99, 100):
+            assert percentile(sample, q) == pytest.approx(
+                float(numpy.percentile(sample, q))
+            )
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 50.0)
+
+    def test_q_outside_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestSummarizeMakespans:
+    def test_single_job_summary(self):
+        summary = summarize_makespans([2.5])
+        assert summary == {
+            "p50_makespan": 2.5,
+            "p99_makespan": 2.5,
+            "max_makespan": 2.5,
+            "fairness": 1.0,
+        }
+
+    def test_straggler_shows_in_p99_and_fairness(self):
+        summary = summarize_makespans([1.0, 1.0, 1.0, 10.0])
+        assert summary["p50_makespan"] == 1.0
+        assert summary["p99_makespan"] > 9.0
+        assert summary["max_makespan"] == 10.0
+        assert summary["fairness"] < 0.5
+
+
+class TestAggregateBandwidth:
+    def test_simple_ratio(self):
+        assert aggregate_bandwidth(1000, 2.0) == 500.0
+
+    def test_zero_window_with_traffic_is_infinite(self):
+        assert aggregate_bandwidth(10, 0.0) == float("inf")
+
+    def test_zero_window_without_traffic_is_zero(self):
+        assert aggregate_bandwidth(0, 0.0) == 0.0
