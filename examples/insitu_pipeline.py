@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""In-situ analysis pipeline: a simulation coupled to an analysis group.
+
+Two applications share one SPMD world: four *producer* ranks run a
+simulated timestep loop and checkpoint a 32x512 array to a shared file
+each step, while two *consumer* ranks read each checkpoint back in situ —
+a 4:2 redistribution through the file's byte range — and "analyse" it.
+The groups are wired with MPI inter-communicators (`Comm_split` carves
+the world, `Create_intercomm` bridges the halves), the way real coupled
+codes are.
+
+We run the same workload under two coupling disciplines:
+
+* ``barrier``    — write-barrier-read: each side waits the other out;
+* ``overlapped`` — simulate-while-checkpoint: producers commit step ``s``
+  with the split-collective API while computing step ``s+1``, and run up
+  to ``overlap_depth`` steps ahead of the consumers' acknowledgements;
+  consumers overlap their nonblocking ``Iread_all`` with analysis.
+
+The overlapped discipline must finish strictly earlier, every consumer
+must receive exactly the bytes the producers wrote for its slice, and the
+cross-group stream verifier must find each per-step stream serialisable.
+
+Run with:  python examples/insitu_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import CoupledPipeline, PipelineSpec, StageSpec, expected_consumer_streams
+from repro.bench.machines import IBM_SP
+
+M, N, STEPS = 32, 512, 4
+PRODUCERS, CONSUMERS = 4, 2
+COMPUTE_SECONDS = 0.002  # per-step simulation *and* analysis compute
+
+
+def run(coordination: str):
+    spec = PipelineSpec(
+        stages=(
+            StageSpec("producer", PRODUCERS, compute_seconds=COMPUTE_SECONDS),
+            StageSpec("consumer", CONSUMERS, compute_seconds=COMPUTE_SECONDS),
+        ),
+        M=M,
+        N=N,
+        steps=STEPS,
+        strategy="two-phase",
+        coordination=coordination,
+        overlap_depth=2,
+        filename=f"/insitu/{coordination}",
+    )
+    return CoupledPipeline(spec, fs_config=IBM_SP.make_fs_config()).run()
+
+
+def main() -> None:
+    print(
+        f"Coupled pipeline: {PRODUCERS} producers -> {CONSUMERS} consumers, "
+        f"{M}x{N} checkpoint, {STEPS} steps\n"
+    )
+    results = {}
+    for coordination in ("barrier", "overlapped"):
+        result = results[coordination] = run(coordination)
+
+        report = result.verify()
+        assert report.ok, f"stream atomicity violated: {report.violations}"
+        for step in range(STEPS):
+            expected = expected_consumer_streams(result.spec, step)
+            for c in range(CONSUMERS):
+                assert result.delivered[(step, c)] == expected[c], (
+                    f"consumer {c} diverged at step {step}"
+                )
+
+        print(
+            f"{coordination:10s}  makespan {result.makespan:.6f} s, "
+            f"streamed {result.bytes_streamed} B, "
+            f"streams serialisable: yes, bytes exact: yes"
+        )
+
+    won = results["barrier"].makespan - results["overlapped"].makespan
+    assert won > 0, "overlap failed to beat the barrier baseline"
+    print(
+        f"\nSimulate-while-checkpoint saved {won:.6f} s of virtual time "
+        f"({100 * won / results['barrier'].makespan:.1f}% of the baseline):"
+        f" the commit and the analysis hid under compute, and the depth-2"
+        f" ack window kept the producers from stalling on the slower"
+        f" consumers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -71,7 +71,14 @@ from .io import (
     Waitall,
     Waitany,
 )
-from .mpi import Communicator, run_spmd
+from .mpi import Communicator, Group, Intercomm, run_spmd
+from .pipelines import (
+    CoupledPipeline,
+    PipelineResult,
+    PipelineSpec,
+    StageSpec,
+    expected_consumer_streams,
+)
 from .patterns import (
     CheckpointRestartWorkload,
     ColumnWiseWorkload,
@@ -146,7 +153,15 @@ __all__ = [
     "MODE_WRONLY",
     # mpi
     "Communicator",
+    "Group",
+    "Intercomm",
     "run_spmd",
+    # pipelines
+    "StageSpec",
+    "PipelineSpec",
+    "CoupledPipeline",
+    "PipelineResult",
+    "expected_consumer_streams",
     # patterns
     "column_wise_views",
     "row_wise_views",

@@ -14,9 +14,17 @@ Checked, conservatively (to avoid false positives on prose):
 * ``python -m <module>`` commands must name an importable module;
   ``python <script>.py`` commands must name an existing file.
 
+Beyond link rot, CI can also assert that documentation *sections exist*:
+``--require FILE#Heading`` fails unless ``FILE`` contains a markdown
+heading whose text matches ``Heading`` (case-insensitive substring match,
+any heading level) — so a PR that adds an experiment sweep cannot land
+without its EXPERIMENTS.md section.
+
 Run with::
 
     PYTHONPATH=src python -m repro.bench.doccheck README.md EXPERIMENTS.md
+    PYTHONPATH=src python -m repro.bench.doccheck \\
+        --require "EXPERIMENTS.md#Coupled-pipeline" EXPERIMENTS.md
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["check_document", "main"]
+__all__ = ["check_document", "check_required_section", "main"]
 
 #: Extensions that make a backtick span a file-path claim.
 _PATH_SUFFIXES = (".py", ".md", ".toml", ".yml", ".yaml", ".txt", ".dat", ".json")
@@ -93,20 +101,66 @@ def check_document(path: Path, root: Optional[Path] = None) -> List[Tuple[int, s
     return problems
 
 
+_HEADING = re.compile(r"^#{1,6}\s+(.*\S)\s*$")
+
+
+def check_required_section(requirement: str, root: Optional[Path] = None) -> List[str]:
+    """Validate one ``FILE#Heading`` requirement; returns problem strings.
+
+    The heading text matches case-insensitively as a substring of any
+    markdown heading (``#`` through ``######``) in ``FILE``, so docs can
+    reword around a stable anchor phrase without breaking CI.
+    """
+    root = root or Path.cwd()
+    name, sep, heading = requirement.partition("#")
+    if not sep or not name or not heading.strip():
+        return [f"malformed --require {requirement!r} (expected FILE#Heading)"]
+    path = root / name
+    if not path.exists():
+        return [f"{name}: document does not exist (required by --require)"]
+    needle = heading.strip().lower()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        match = _HEADING.match(line)
+        if match and needle in match.group(1).lower():
+            return []
+    return [f"{name}: no heading matching {heading.strip()!r}"]
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; exits non-zero when any document is inconsistent."""
     args = list(argv) if argv is not None else sys.argv[1:]
-    if not args:
-        args = ["README.md"]
+    required: List[str] = []
+    files: List[str] = []
+    it = iter(args)
+    for arg in it:
+        if arg == "--require":
+            value = next(it, None)
+            if value is None:
+                print("--require expects a FILE#Heading argument")
+                return 1
+            required.append(value)
+        elif arg.startswith("--require="):
+            required.append(arg.split("=", 1)[1])
+        else:
+            files.append(arg)
+    if not files and not required:
+        files = ["README.md"]
     root = Path.cwd()
     failed = False
-    for name in args:
+    for name in files:
         problems = check_document(Path(name), root=root)
         for lineno, problem in problems:
             print(f"{name}:{lineno}: {problem}")
             failed = True
         if not problems:
             print(f"{name}: ok")
+    for requirement in required:
+        problems_r = check_required_section(requirement, root=root)
+        for problem in problems_r:
+            print(f"{requirement}: {problem}")
+            failed = True
+        if not problems_r:
+            print(f"{requirement}: ok")
     return 1 if failed else 0
 
 

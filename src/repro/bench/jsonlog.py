@@ -31,7 +31,12 @@ points (:mod:`repro.bench.multitenant`) may carry ``job_id`` (which job of
 the run the entry describes; summary rows omit it), ``offered_load`` (total
 bytes offered across the run's jobs) and ``fairness`` (Jain's index over the
 per-job makespans); all three are optional, so records written before the
-job layer existed still parse.  Like the text report,
+job layer existed still parse.  Coupled-pipeline points
+(:mod:`repro.bench.pipeline`) may carry ``stage`` (which pipeline stage —
+``producer``/``transformer``/``consumer`` — a per-stage row describes) and
+``stream_id`` (which per-step byte stream a per-stream row verifies); both
+are optional strings, so records written before the pipeline subsystem
+existed still parse.  Like the text report,
 re-recording an experiment replaces its previous entries in place, so the
 file holds exactly one copy of every experiment regardless of how often or
 how partially the benchmarks are re-run.
@@ -102,6 +107,13 @@ def _coerce(entry: Dict) -> Dict:
         out["offered_load"] = float(entry["offered_load"])
     if entry.get("fairness") is not None:
         out["fairness"] = float(entry["fairness"])
+    # Coupled-pipeline fields are optional: `stage` names which stage group
+    # a per-stage row describes, `stream_id` which per-step byte stream a
+    # per-stream row verifies.
+    if entry.get("stage") is not None:
+        out["stage"] = str(entry["stage"])
+    if entry.get("stream_id") is not None:
+        out["stream_id"] = str(entry["stream_id"])
     return out
 
 

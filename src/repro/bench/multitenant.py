@@ -22,6 +22,14 @@ Results land in ``benchmarks/results/latest.json`` under
 ``job_id``).  The CI smoke point (4 jobs x 16 ranks) is additionally gated
 by :mod:`repro.bench.perfgate` with a fairness floor and a wall budget.
 
+The sweep also runs one *heterogeneous* configuration
+(:func:`run_mixed_tenant_point`, filed under
+``multitenant/<fs>/mixed-w<writers>r<readers>xp<ranks>``): write jobs
+racing read jobs on one shared file under ``locking``, with every read
+job's delivered bytes pushed through the cross-group stream verifier
+(:func:`~repro.verify.atomicity.check_stream_atomicity`) — a torn or
+stale read across the tenant boundary fails the sweep.
+
 Run the sweep (CI uploads the JSON it writes)::
 
     PYTHONPATH=src python -m repro.bench.multitenant
@@ -46,8 +54,10 @@ __all__ = [
     "DEFAULT_SHAPE",
     "DEFAULT_SEED",
     "SMOKE_POINT",
+    "MIXED_POINT",
     "MultiTenantPoint",
     "run_multitenant_point",
+    "run_mixed_tenant_point",
     "run_saturation_sweep",
     "main",
 ]
@@ -66,6 +76,10 @@ DEFAULT_SEED = 20030804
 #: The CI smoke / perf-gate point: (jobs, ranks per job).
 SMOKE_POINT = (4, 16)
 
+#: The heterogeneous mix: (write jobs, read jobs, ranks per job), all
+#: racing on one shared file under ``locking``.
+MIXED_POINT = (2, 2, 8)
+
 
 @dataclass
 class MultiTenantPoint:
@@ -80,6 +94,8 @@ class MultiTenantPoint:
     atomic_ok: bool
     #: Per-job entries (with ``job_id``) followed by the summary entry.
     entries: List[Dict] = field(default_factory=list)
+    #: Overrides the derived experiment name (used by the mixed point).
+    experiment_label: Optional[str] = None
 
     @property
     def summary(self) -> Dict:
@@ -89,6 +105,8 @@ class MultiTenantPoint:
     @property
     def experiment(self) -> str:
         """The jsonlog experiment name this point files under."""
+        if self.experiment_label is not None:
+            return self.experiment_label
         return (
             f"multitenant/{self.machine.file_system.lower()}"
             f"/j{self.n_jobs}xp{self.nprocs}"
@@ -183,6 +201,95 @@ def run_multitenant_point(
     )
 
 
+def run_mixed_tenant_point(
+    machine: MachineSpec,
+    n_writers: int,
+    n_readers: int,
+    nprocs: int,
+    strategy: str = "locking",
+    arrival_kind: str = "staggered",
+    shape: Tuple[int, int] = DEFAULT_SHAPE,
+    seed: int = DEFAULT_SEED,
+    timeout: Optional[float] = 120.0,
+) -> MultiTenantPoint:
+    """The heterogeneous point: write jobs racing read jobs on one file.
+
+    This is the ROADMAP follow-on from the scheduler PR: the workload
+    mixes producers and observers, so plain write atomicity is not
+    enough — every read job's delivered bytes must additionally be
+    explainable by *some* serial order of the racing writes.  The read
+    jobs' observations go through the cross-group stream verifier
+    (:meth:`~repro.jobs.MultiTenantResult.verify_read_atomicity`, backed
+    by :func:`~repro.verify.atomicity.check_stream_atomicity`): a torn
+    or stale byte anywhere marks the point ``atomic_ok = False``.  The
+    default strategy is ``locking`` because that is the only discipline
+    the paper (and this simulator) grants cross-job read serialisability.
+    """
+    M, N = shape
+    filename = "/multitenant/shared.dat"
+    fs = ParallelFileSystem(machine.make_fs_config())
+    scheduler = MultiTenantScheduler(fs, timeout=timeout)
+    specs = [
+        JobSpec(
+            job_id=f"writer{i}", nprocs=nprocs, M=M, N=N,
+            filename=filename, mode="write", strategy=strategy,
+        )
+        for i in range(n_writers)
+    ] + [
+        JobSpec(
+            job_id=f"reader{i}", nprocs=nprocs, M=M, N=N,
+            filename=filename, mode="read", strategy=strategy,
+        )
+        for i in range(n_readers)
+    ]
+    arrivals = make_arrivals(arrival_kind, len(specs), seed=seed)
+    result = scheduler.run(specs, arrivals=arrivals)
+
+    atomic_ok = (
+        result.verify_write_atomicity(filename).ok
+        and result.verify_read_atomicity(filename, baseline=bytes(M * N)).ok
+    )
+
+    n_jobs = n_writers + n_readers
+    entries: List[Dict] = [
+        {
+            "P": nprocs,
+            "strategy": strategy,
+            "makespan": job.makespan,
+            "bytes": job.bytes_requested,
+            "job_id": job.spec.job_id,
+            "offered_load": result.offered_load,
+        }
+        for job in result.jobs
+    ]
+    entries.append(
+        {
+            "P": n_jobs * nprocs,
+            "strategy": strategy,
+            "makespan": result.summary["max_makespan"],
+            "bytes": result.total_bytes_requested,
+            "wall_seconds": result.wall_seconds,
+            "ops": n_jobs * nprocs,
+            "offered_load": result.offered_load,
+            "fairness": result.fairness,
+        }
+    )
+    label = (
+        f"multitenant/{machine.file_system.lower()}"
+        f"/mixed-w{n_writers}r{n_readers}xp{nprocs}"
+    )
+    return MultiTenantPoint(
+        machine=machine,
+        n_jobs=n_jobs,
+        nprocs=nprocs,
+        strategy=strategy,
+        result=result,
+        atomic_ok=atomic_ok,
+        entries=entries,
+        experiment_label=label,
+    )
+
+
 def run_saturation_sweep(
     machine: MachineSpec,
     job_counts: Sequence[int] = DEFAULT_JOB_COUNTS,
@@ -221,7 +328,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--budget", type=float, default=None,
                         help="host wall-clock budget (seconds) over the whole sweep")
     parser.add_argument("--smoke", action="store_true",
-                        help=f"run only the CI smoke point {SMOKE_POINT}")
+                        help=f"run only the CI smoke point {SMOKE_POINT} "
+                             f"(plus the mixed point {MIXED_POINT})")
+    parser.add_argument("--skip-mixed", action="store_true",
+                        help="skip the write-vs-read mixed-tenant point")
     args = parser.parse_args(list(argv) if argv is not None else None)
 
     machine = machine_by_name(args.machine)
@@ -234,6 +344,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         machine, job_counts, rank_counts,
         strategy=args.strategy, arrival_kind=args.arrival, seed=args.seed,
     )
+    if not args.skip_mixed:
+        n_writers, n_readers, mixed_ranks = MIXED_POINT
+        points.append(
+            run_mixed_tenant_point(
+                machine, n_writers, n_readers, mixed_ranks,
+                arrival_kind=args.arrival, seed=args.seed,
+            )
+        )
     problems: List[str] = []
     total_wall = 0.0
     for point in points:
@@ -250,7 +368,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         if not point.atomic_ok:
             problems.append(
-                f"{point.experiment}: cross-job write atomicity violated"
+                f"{point.experiment}: cross-job atomicity violated"
             )
     if args.budget is not None and total_wall > args.budget:
         problems.append(

@@ -22,7 +22,12 @@ Both I/O directions are gated: the write workloads and the read-back twins
 adaptive checks.  The multi-tenant smoke point
 (:func:`measure_multitenant`) adds cross-job absolute gates on top: write
 atomicity across jobs racing on one shared file, a Jain-fairness floor at
-equal offered load, and its own wall budget.
+equal offered load, and its own wall budget.  The coupled-pipeline smoke
+point (:func:`measure_pipeline`) gates the streaming subsystem: the
+overlapped (simulate-while-checkpoint) pipeline must *strictly* beat the
+write-barrier-read baseline, every cross-group byte stream must verify
+un-torn and match the deterministic expected bytes, and the point has its
+own wall budget.
 
 Intentional performance changes update the baseline explicitly::
 
@@ -54,11 +59,13 @@ __all__ = [
     "ADAPTIVE_READ_PREFIX",
     "DEFAULT_FAIRNESS_FLOOR",
     "DEFAULT_MULTITENANT_WALL_BUDGET_PER_OP",
+    "DEFAULT_PIPELINE_WALL_BUDGET_PER_OP",
     "measure",
     "measure_adaptive",
     "measure_adaptive_read",
     "measure_plan_cache",
     "measure_multitenant",
+    "measure_pipeline",
     "compare",
     "check_wall",
     "check_adaptive",
@@ -106,6 +113,14 @@ DEFAULT_PLAN_CACHE_FACTOR = 0.5
 #: so it gets its own budget — still tight enough to catch an
 #: order-of-magnitude scheduler regression, at ~3x the observed cost.
 DEFAULT_MULTITENANT_WALL_BUDGET_PER_OP = 5e-3
+
+#: Absolute wall ceiling per simulated step-op for the coupled-pipeline
+#: smoke point (two full pipeline runs, barrier + overlapped, each
+#: ``total_ranks x steps`` ops).  Streaming ops carry intercomm bridges and
+#: per-step opens on top of the plain collective cost, so the budget sits
+#: at ~3x the observed per-op cost — tight enough to catch an
+#: order-of-magnitude regression in the bridge or handoff machinery.
+DEFAULT_PIPELINE_WALL_BUDGET_PER_OP = 5e-3
 
 #: The multi-tenant smoke point must keep Jain's fairness index over the
 #: per-job makespans at or above this floor: identical jobs arriving
@@ -377,6 +392,64 @@ def measure_multitenant(
     return {"perfgate/multitenant": [summary]}, problems
 
 
+def measure_pipeline(
+    budget_per_op: float = DEFAULT_PIPELINE_WALL_BUDGET_PER_OP,
+) -> tuple:
+    """The coupled-pipeline smoke point and its absolute gates.
+
+    Runs the CI smoke configuration (:data:`~repro.bench.pipeline.
+    SMOKE_POINT`: a producer group and a consumer group bridged by an
+    intercomm, streaming per-step checkpoints) under both coupling
+    disciplines and returns ``(experiments, problems)``:
+
+    * **overlap** — the overlapped (simulate-while-checkpoint,
+      split-collective write + nonblocking in-situ read) pipeline's virtual
+      makespan is *strictly* below the write-barrier-read baseline's;
+    * **atomicity** — every per-step byte stream passes the cross-group
+      serialisability verifier (:func:`~repro.verify.atomicity.
+      check_stream_atomicity`);
+    * **determinism** — every consumer received exactly the expected bytes
+      of the N:M redistribution through the shared file;
+    * **wall clock** — both runs stay under the absolute per-simulated-op
+      budget.
+
+    Two summary entries (one per coupling discipline, distinguished by the
+    ``<strategy>+<coordination>`` label) are filed under
+    ``perfgate/pipeline``; the per-stage and per-stream rows live in the
+    non-gated ``pipeline/*`` sweep experiments.
+    """
+    from .pipeline import SMOKE_POINT, run_pipeline_point
+    from .machines import machine_by_name
+
+    producers, consumers, depth = SMOKE_POINT
+    point = run_pipeline_point(
+        machine_by_name("IBM SP"), producers, consumers, depth
+    )
+    problems: List[str] = []
+    if not point.atomic_ok:
+        problems.append(
+            "pipeline: cross-group stream atomicity violated on a checkpoint"
+        )
+    if not point.streams_ok:
+        problems.append(
+            "pipeline: a consumer's delivered byte stream diverges from the "
+            "deterministic expected redistribution"
+        )
+    if point.overlap_won <= 0:
+        problems.append(
+            f"pipeline: overlapped makespan {point.overlapped.makespan:.6f}s "
+            f"does not strictly beat the write-barrier-read baseline "
+            f"{point.barrier.makespan:.6f}s"
+        )
+    summaries = [
+        entry
+        for entry in point.entries
+        if "stage" not in entry and "stream_id" not in entry
+    ]
+    problems += check_wall(summaries, budget_per_op, experiment="perfgate/pipeline")
+    return {"perfgate/pipeline": summaries}, problems
+
+
 def _index(entries: Sequence[Dict]) -> Dict:
     """Index entries by ``(P, strategy)``; duplicates are a hard error.
 
@@ -505,7 +578,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     measured.update(plan_experiments)
     mt_experiments, mt_problems = measure_multitenant()
     measured.update(mt_experiments)
-    absolute_problems = absolute_problems + mt_problems
+    pipe_experiments, pipe_problems = measure_pipeline()
+    measured.update(pipe_experiments)
+    absolute_problems = absolute_problems + mt_problems + pipe_problems
     for experiment, entries in measured.items():
         record_results(experiment, entries)
         for entry in entries:

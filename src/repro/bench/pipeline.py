@@ -1,0 +1,313 @@
+"""Coupled-pipeline sweep: producer:consumer ratios x overlap depth.
+
+Each sweep point couples a producer group and a consumer group (world size
+``P + C``) over intercomm bridges (:mod:`repro.pipelines`) and runs the
+same streaming checkpoint/analysis workload twice:
+
+* ``barrier`` — the write-barrier-read baseline: consumers wait for the
+  producers' step to commit, producers wait for the consumers' analysis;
+* ``overlapped`` — simulate-while-checkpoint: producers overlap the commit
+  with compute via the split-collective API and run ``overlap_depth``
+  steps ahead, consumers overlap their in-situ ``Iread_all`` with analysis
+  compute.
+
+For every point the overlapped makespan must be *strictly* lower than the
+baseline, every per-step byte stream must pass the cross-group
+serialisability verifier, and every consumer must receive exactly the
+deterministic expected stream (the N:M redistribution through the shared
+file is byte-checked).  Results land under
+``pipeline/<fs>/p<P>c<C>d<depth>``: one summary row per coordination mode,
+one row per stage (carrying ``stage``), and one row per verified stream
+(carrying ``stream_id``).  The smoke point is additionally gated by
+:mod:`repro.bench.perfgate`.
+
+Run the sweep (CI uploads the JSON it writes)::
+
+    PYTHONPATH=src python -m repro.bench.pipeline
+    PYTHONPATH=src python -m repro.bench.pipeline --smoke --budget 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..pipelines import (
+    CoupledPipeline,
+    PipelineResult,
+    PipelineSpec,
+    StageSpec,
+    expected_consumer_streams,
+)
+from .jsonlog import record_results
+from .machines import MachineSpec, machine_by_name
+
+__all__ = [
+    "DEFAULT_RATIOS",
+    "DEFAULT_DEPTHS",
+    "DEFAULT_SHAPE",
+    "DEFAULT_STEPS",
+    "SMOKE_POINT",
+    "PipelinePoint",
+    "run_pipeline_point",
+    "run_pipeline_sweep",
+    "main",
+]
+
+#: Producer:consumer rank ratios of the sweep (the N:M redistributions).
+DEFAULT_RATIOS = ((4, 4), (8, 2), (2, 8))
+#: Producer run-ahead depths of the sweep.
+DEFAULT_DEPTHS = (1, 2)
+
+#: Checkpoint array shape (M x N bytes) and per-run step count.
+DEFAULT_SHAPE = (32, 512)
+DEFAULT_STEPS = 4
+
+#: Per-step virtual compute charged on each side; both the simulation the
+#: checkpoint overlaps and the analysis the in-situ read overlaps.
+DEFAULT_COMPUTE_SECONDS = 0.002
+
+#: The CI smoke / perf-gate point: (producers, consumers, depth).
+SMOKE_POINT = (4, 4, 2)
+
+
+@dataclass
+class PipelinePoint:
+    """One sweep point: baseline + overlapped runs and their verdicts."""
+
+    machine: MachineSpec
+    producers: int
+    consumers: int
+    depth: int
+    strategy: str
+    barrier: PipelineResult
+    overlapped: PipelineResult
+    #: Whether both runs' streams passed the cross-group verifier.
+    atomic_ok: bool
+    #: Whether every consumer delivered exactly the expected byte stream.
+    streams_ok: bool
+    entries: List[Dict] = field(default_factory=list)
+
+    @property
+    def overlap_won(self) -> float:
+        """Virtual time the overlapped discipline saved over the baseline."""
+        return self.barrier.makespan - self.overlapped.makespan
+
+    @property
+    def experiment(self) -> str:
+        """The jsonlog experiment name this point files under."""
+        return (
+            f"pipeline/{self.machine.file_system.lower()}"
+            f"/p{self.producers}c{self.consumers}d{self.depth}"
+        )
+
+
+def _spec_for(
+    producers: int,
+    consumers: int,
+    depth: int,
+    coordination: str,
+    strategy: str,
+    shape: Tuple[int, int],
+    steps: int,
+    compute_seconds: float,
+) -> PipelineSpec:
+    M, N = shape
+    return PipelineSpec(
+        stages=(
+            StageSpec("producer", producers, compute_seconds=compute_seconds),
+            StageSpec("consumer", consumers, compute_seconds=compute_seconds),
+        ),
+        M=M,
+        N=N,
+        steps=steps,
+        strategy=strategy,
+        coordination=coordination,
+        overlap_depth=depth,
+        filename=f"/pipeline/p{producers}c{consumers}d{depth}_{coordination}",
+    )
+
+
+def run_pipeline_point(
+    machine: MachineSpec,
+    producers: int,
+    consumers: int,
+    depth: int = 1,
+    strategy: str = "two-phase",
+    shape: Tuple[int, int] = DEFAULT_SHAPE,
+    steps: int = DEFAULT_STEPS,
+    compute_seconds: float = DEFAULT_COMPUTE_SECONDS,
+    timeout: Optional[float] = 120.0,
+) -> PipelinePoint:
+    """Run one (P:C ratio, depth) point under both coupling disciplines."""
+    results: Dict[str, PipelineResult] = {}
+    for coordination in ("barrier", "overlapped"):
+        spec = _spec_for(
+            producers, consumers, depth, coordination, strategy,
+            shape, steps, compute_seconds,
+        )
+        results[coordination] = CoupledPipeline(
+            spec, fs_config=machine.make_fs_config(), timeout=timeout
+        ).run()
+
+    atomic_ok = True
+    streams_ok = True
+    for result in results.values():
+        atomic_ok = atomic_ok and result.verify().ok
+        for step in range(result.spec.steps):
+            expected = expected_consumer_streams(result.spec, step)
+            for c in range(consumers):
+                if result.delivered.get((step, c)) != expected[c]:
+                    streams_ok = False
+
+    total = producers + consumers
+    entries: List[Dict] = []
+    for coordination, result in results.items():
+        label = f"{strategy}+{coordination}"
+        entries.append(
+            {
+                "P": total,
+                "strategy": label,
+                "makespan": result.makespan,
+                "bytes": result.bytes_streamed,
+                "wall_seconds": result.wall_seconds,
+                "ops": total * steps,
+            }
+        )
+        for stage, nprocs in (("producer", producers), ("consumer", consumers)):
+            finish = max(
+                (
+                    r.get("bytes_written", 0)
+                    for r in result.returns
+                    if r["role"] == stage
+                ),
+                default=0,
+            )
+            entries.append(
+                {
+                    "P": nprocs,
+                    "strategy": label,
+                    "makespan": result.makespan,
+                    "bytes": finish if stage == "producer" else result.bytes_streamed,
+                    "stage": stage,
+                }
+            )
+        for trace in result.streams:
+            entries.append(
+                {
+                    "P": total,
+                    "strategy": label,
+                    "makespan": result.makespan,
+                    "bytes": sum(len(o.data) for o in trace.observations),
+                    "stream_id": trace.stream_id,
+                }
+            )
+    return PipelinePoint(
+        machine=machine,
+        producers=producers,
+        consumers=consumers,
+        depth=depth,
+        strategy=strategy,
+        barrier=results["barrier"],
+        overlapped=results["overlapped"],
+        atomic_ok=atomic_ok,
+        streams_ok=streams_ok,
+        entries=entries,
+    )
+
+
+def run_pipeline_sweep(
+    machine: MachineSpec,
+    ratios: Sequence[Tuple[int, int]] = DEFAULT_RATIOS,
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    strategy: str = "two-phase",
+    shape: Tuple[int, int] = DEFAULT_SHAPE,
+    steps: int = DEFAULT_STEPS,
+) -> List[PipelinePoint]:
+    """The full grid: every producer:consumer ratio at every depth."""
+    return [
+        run_pipeline_point(
+            machine, producers, consumers, depth,
+            strategy=strategy, shape=shape, steps=steps,
+        )
+        for producers, consumers in ratios
+        for depth in depths
+    ]
+
+
+def _parse_ratios(text: str) -> Tuple[Tuple[int, int], ...]:
+    out = []
+    for part in text.split(","):
+        if not part:
+            continue
+        p, _, c = part.partition(":")
+        out.append((int(p), int(c)))
+    return tuple(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exits non-zero when a point fails verification or
+    the overlapped discipline fails to beat the baseline."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--machine", default="IBM SP")
+    parser.add_argument("--ratios", default=",".join(f"{p}:{c}" for p, c in DEFAULT_RATIOS),
+                        help="comma-separated producer:consumer rank ratios")
+    parser.add_argument("--depths", default=",".join(map(str, DEFAULT_DEPTHS)),
+                        help="comma-separated overlap depths")
+    parser.add_argument("--strategy", default="two-phase")
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--budget", type=float, default=None,
+                        help="host wall-clock budget (seconds) over the whole sweep")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"run only the CI smoke point {SMOKE_POINT}")
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    machine = machine_by_name(args.machine)
+    if args.smoke:
+        ratios: Sequence[Tuple[int, int]] = (SMOKE_POINT[:2],)
+        depths: Sequence[int] = (SMOKE_POINT[2],)
+    else:
+        ratios = _parse_ratios(args.ratios)
+        depths = tuple(int(d) for d in args.depths.split(",") if d)
+
+    points = run_pipeline_sweep(
+        machine, ratios, depths, strategy=args.strategy, steps=args.steps
+    )
+    problems: List[str] = []
+    total_wall = 0.0
+    for point in points:
+        record_results(point.experiment, point.entries)
+        total_wall += point.barrier.wall_seconds + point.overlapped.wall_seconds
+        print(
+            f"{point.experiment}: barrier {point.barrier.makespan:.6f}s, "
+            f"overlapped {point.overlapped.makespan:.6f}s "
+            f"(won {point.overlap_won:.6f}s), "
+            f"streamed {point.overlapped.bytes_streamed} B, "
+            f"wall {point.barrier.wall_seconds + point.overlapped.wall_seconds:.2f}s"
+        )
+        if not point.atomic_ok:
+            problems.append(f"{point.experiment}: cross-group stream atomicity violated")
+        if not point.streams_ok:
+            problems.append(f"{point.experiment}: consumer streams diverge from expected bytes")
+        if point.overlap_won <= 0:
+            problems.append(
+                f"{point.experiment}: overlapped makespan "
+                f"{point.overlapped.makespan:.6f}s does not beat the "
+                f"write-barrier-read baseline {point.barrier.makespan:.6f}s"
+            )
+    if args.budget is not None and total_wall > args.budget:
+        problems.append(
+            f"sweep wall clock {total_wall:.2f}s exceeds the {args.budget:.2f}s budget"
+        )
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print(f"pipeline sweep ok ({len(points)} points, wall {total_wall:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

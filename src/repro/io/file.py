@@ -128,7 +128,20 @@ class MPIFile:
         # so per-byte provenance still reads as the writing rank.
         task = current_task()
         client_id = task.tid if task is not None else comm.rank
-        self._client = FSClient(fs, client_id=client_id, clock=comm.clock)
+        # The ``provenance_base`` hint pins the *global* identity instead:
+        # coupled groups and multi-tenant jobs racing on one file each pass
+        # a disjoint base so client ids — and therefore per-byte provenance,
+        # whichever strategy records it — read as ``base + rank`` and the
+        # cross-group atomicity verifiers can be keyed globally.
+        provenance_base = self.info.get_int("provenance_base", -1)
+        if provenance_base >= 0:
+            client_id = provenance_base + comm.rank
+        self._client = FSClient(
+            fs,
+            client_id=client_id,
+            clock=comm.clock,
+            provenance_base=max(provenance_base, 0),
+        )
         # Open always creates (a long-standing simplification: MODE_CREATE is
         # accepted but not required for missing files).  The progress handle
         # below opens with create=False and relies on this ordering.
@@ -144,7 +157,12 @@ class MPIFile:
         # on an independent clock, so in-flight collectives never contend
         # with the rank's own timeline (compute, independent I/O).
         self._async_comm = comm.dup_detached()
-        self._async_client = FSClient(fs, client_id=client_id, clock=self._async_comm.clock)
+        self._async_client = FSClient(
+            fs,
+            client_id=client_id,
+            clock=self._async_comm.clock,
+            provenance_base=max(provenance_base, 0),
+        )
         self._async_handle = self._async_client.open(filename, create=False)
         self._outstanding: List[IORequest] = []
         self._chain_tail: Optional[IORequest] = None

@@ -30,6 +30,13 @@ client cache; unknown hints are ignored, as MPI requires.
     through the cold exchange/analysis path.
 ``striping_unit``
     Overrides the file's stripe size (bytes) at open.
+``provenance_base``
+    Global identity offset for coupled groups or jobs sharing one file:
+    the rank's file-system client id becomes ``provenance_base + rank``
+    (instead of the engine task id) and strategy-recorded per-byte
+    provenance is rebased the same way, so the cross-group atomicity
+    verifiers can key observations on globally unique writer ids.  Groups
+    racing on one file must pass disjoint bases.
 ``read_ahead`` / ``read_ahead_pages``
     Client-cache read-ahead toggle (boolean, see :meth:`Info.get_bool`) and
     explicit page count; applied to the rank's cache policies at

@@ -49,8 +49,9 @@ from ..patterns.partition import views_for_pattern
 from ..verify.atomicity import (
     AtomicityReport,
     ReadObservation,
+    StreamTrace,
     check_mpi_atomicity,
-    check_read_atomicity,
+    check_stream_atomicity,
 )
 from .metrics import aggregate_bandwidth, summarize_makespans
 from .spec import JobSpec
@@ -206,9 +207,11 @@ class MultiTenantResult:
         self, filename: str, baseline: Optional[bytes] = None
     ) -> AtomicityReport:
         """Read serialisability of every read job against every write job
-        racing on ``filename`` (see :func:`~repro.verify.atomicity.
-        check_read_atomicity`); ``baseline`` is the file's pre-run contents
-        (all zeros for a fresh file)."""
+        racing on ``filename``, as one globally-rekeyed
+        :class:`~repro.verify.atomicity.StreamTrace` through the shared
+        cross-group verifier (:func:`~repro.verify.atomicity.
+        check_stream_atomicity`); ``baseline`` is the file's pre-run
+        contents (all zeros for a fresh file)."""
         observations = [
             ReadObservation(region.rank, region, job.data[local])
             for job in self._jobs_on(filename, "read")
@@ -219,9 +222,14 @@ class MultiTenantResult:
         for job in self._jobs_on(filename, "write"):
             write_regions.extend(job.global_regions)
             write_data.extend(job.data)
-        return check_read_atomicity(
-            observations, write_regions, write_data, baseline=baseline
+        trace = StreamTrace(
+            stream_id=filename,
+            write_regions=write_regions,
+            writer_data=write_data,
+            observations=observations,
+            baseline=baseline,
         )
+        return check_stream_atomicity([trace])
 
 
 class _JobRuntime:

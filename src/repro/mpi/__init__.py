@@ -10,7 +10,7 @@ and bit-for-bit reproducible.
 """
 
 from .clock import VirtualClock, synchronize_clocks
-from .comm import CommCostModel, Communicator
+from .comm import PROC_NULL, ROOT, CommCostModel, Communicator, Group, Intercomm
 from .errors import (
     CollectiveAbortedError,
     CollectiveMismatchError,
@@ -28,6 +28,10 @@ from .status import ANY_SOURCE, ANY_TAG, Request, Status
 __all__ = [
     "Communicator",
     "CommCostModel",
+    "Group",
+    "Intercomm",
+    "ROOT",
+    "PROC_NULL",
     "VirtualClock",
     "synchronize_clocks",
     "run_spmd",

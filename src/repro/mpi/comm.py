@@ -10,7 +10,10 @@ rendezvous area for collectives — while each rank holds its own
 * ``send`` / ``recv`` / ``isend`` / ``irecv`` / ``sendrecv``
 * ``barrier``, ``bcast``, ``gather``, ``scatter``, ``allgather``,
   ``alltoall``, ``alltoallv``, ``reduce``, ``allreduce``, ``scan``
-* ``split`` / ``dup``
+* ``split`` / ``Comm_split`` / ``dup`` / ``Create_group``
+* ``Create_intercomm``, building an :class:`Intercomm` that bridges two
+  disjoint communicators for cross-group point-to-point and collectives
+  (the coupled-application substrate of :mod:`repro.pipelines`)
 
 Collectives follow MPI semantics: every rank of the communicator must call
 the same collective in the same order.  Payloads are arbitrary Python
@@ -48,7 +51,19 @@ from .errors import (
 from .reduce_ops import ReduceOp, SUM
 from .status import ANY_SOURCE, ANY_TAG, Request, Status
 
-__all__ = ["CommCostModel", "Communicator"]
+__all__ = ["CommCostModel", "Communicator", "Group", "Intercomm", "ROOT", "PROC_NULL"]
+
+#: Passed as ``root`` to an :class:`Intercomm` collective by the one process
+#: *originating* the data (``MPI_ROOT``).
+ROOT = -4
+#: Passed as ``root`` by the origin group's non-root processes
+#: (``MPI_PROC_NULL``): they participate in the rendezvous but neither
+#: contribute nor receive.
+PROC_NULL = -3
+
+#: Marker wrapped around the ROOT deposit of an intercomm broadcast so the
+#: rendezvous can locate (and validate) the single origin slot.
+_IROOT = object()
 
 
 def _matches(src: int, tag: int, want_source: int, want_tag: int) -> bool:
@@ -163,6 +178,70 @@ class _CommGroup:
         for child in self.children:
             if child.aborted is None:
                 child.abort(exc)
+
+
+class Group:
+    """An ordered set of ranks of a parent communicator (``MPI_Group``).
+
+    A group is pure bookkeeping — no mailboxes, no clocks: position *i* of
+    the tuple is group rank *i*, the value is the parent-communicator rank it
+    maps to.  Groups are built from :meth:`Communicator.Get_group` and
+    combined with :meth:`Incl` / :meth:`Excl`; a communicator over the
+    member processes comes from :meth:`Communicator.Create_group`.
+    """
+
+    __slots__ = ("_ranks",)
+
+    def __init__(self, ranks: Sequence[int]) -> None:
+        ranks = tuple(int(r) for r in ranks)
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"duplicate ranks in group: {list(ranks)}")
+        self._ranks = ranks
+
+    @property
+    def size(self) -> int:
+        """Number of member processes."""
+        return len(self._ranks)
+
+    @property
+    def ranks(self) -> Tuple[int, ...]:
+        """The members' parent-communicator ranks, in group-rank order."""
+        return self._ranks
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __contains__(self, parent_rank: int) -> bool:
+        return int(parent_rank) in self._ranks
+
+    def translate(self, group_rank: int) -> int:
+        """The parent-communicator rank of group rank ``group_rank``."""
+        if not 0 <= group_rank < len(self._ranks):
+            raise RankError(f"group rank {group_rank} outside group of size {len(self._ranks)}")
+        return self._ranks[group_rank]
+
+    def rank_of(self, parent_rank: int) -> Optional[int]:
+        """The group rank of ``parent_rank``; ``None`` for non-members."""
+        try:
+            return self._ranks.index(int(parent_rank))
+        except ValueError:
+            return None
+
+    def Incl(self, group_ranks: Sequence[int]) -> "Group":  # noqa: N802 - MPI spelling
+        """The subgroup of the named group ranks, in the order given."""
+        return Group(self.translate(r) for r in group_ranks)
+
+    def Excl(self, group_ranks: Sequence[int]) -> "Group":  # noqa: N802 - MPI spelling
+        """The subgroup without the named group ranks (original order kept)."""
+        drop = {int(r) for r in group_ranks}
+        for r in drop:
+            self.translate(r)  # validate range
+        return Group(
+            parent for i, parent in enumerate(self._ranks) if i not in drop
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Group({list(self._ranks)!r})"
 
 
 class Communicator:
@@ -509,20 +588,23 @@ class Communicator:
 
     # -- communicator management -----------------------------------------------------
 
-    def split(self, color: int, key: Optional[int] = None) -> "Communicator":
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Optional["Communicator"]:
         """Partition the communicator by ``color``; order new ranks by ``key``.
 
         Every rank must participate.  Ranks sharing a ``color`` end up in the
-        same new communicator; ``key`` (default: old rank) orders them.
+        same new communicator; ``key`` (default: old rank) orders them.  A
+        rank passing ``color=None`` (``MPI_UNDEFINED``) joins no new
+        communicator and receives ``None``.
         """
         if key is None:
             key = self._rank
-        info = self.allgather((int(color), int(key), self._rank))
+        mine = None if color is None else int(color)
+        info = self.allgather((mine, int(key), self._rank))
         # Rank 0 creates one shared group per colour so all ranks agree on
         # the shared objects, then broadcasts the mapping.
         if self._rank == 0:
             groups: Dict[int, Tuple[_CommGroup, List[int]]] = {}
-            for c in sorted({c for c, _, _ in info}):
+            for c in sorted({c for c, _, _ in info if c is not None}):
                 members = sorted(
                     [(k, r) for cc, k, r in info if cc == c]
                 )
@@ -540,12 +622,38 @@ class Communicator:
         else:
             mapping = None
         mapping = self.bcast(mapping, root=0)
-        group, ranks = mapping[int(color)]
+        if mine is None:
+            return None
+        group, ranks = mapping[mine]
         return Communicator(group, ranks.index(self._rank))
+
+    def Comm_split(  # noqa: N802 - MPI spelling
+        self, color: Optional[int], key: Optional[int] = None
+    ) -> Optional["Communicator"]:
+        """MPI-style alias for :meth:`split` (``MPI_Comm_split``)."""
+        return self.split(color, key)
 
     def dup(self) -> "Communicator":
         """A new communicator with the same membership (``MPI_Comm_dup``)."""
         return self.split(color=0, key=self._rank)
+
+    def Get_group(self) -> Group:  # noqa: N802 - MPI spelling
+        """This communicator's group (``MPI_Comm_group``)."""
+        return Group(range(self.size))
+
+    def Create_group(self, group: Group) -> Optional["Communicator"]:  # noqa: N802 - MPI spelling
+        """A new communicator over the members of ``group``.
+
+        Collective over this communicator (every rank must call, with an
+        equal group); non-members receive ``None``, as ``MPI_Comm_create``
+        returns ``MPI_COMM_NULL``.  New ranks follow the group order.
+        """
+        for parent in group.ranks:
+            self._check_rank(parent)
+        position = group.rank_of(self._rank)
+        if position is None:
+            return self.split(color=None)
+        return self.split(color=0, key=position)
 
     def dup_detached(self) -> "Communicator":
         """A communicator over the same ranks with *independent* clocks.
@@ -585,6 +693,70 @@ class Communicator:
         except ValueError:
             pass
 
+    def Create_intercomm(  # noqa: N802 - MPI spelling
+        self,
+        local_leader: int,
+        peer_comm: Optional["Communicator"],
+        remote_leader: int,
+        tag: int = 0,
+    ) -> "Intercomm":
+        """Bridge this communicator's group with a remote group
+        (``MPI_Intercomm_create``).
+
+        Collective over this (local) communicator.  The two local groups must
+        be *disjoint* sets of processes; ``peer_comm`` is a communicator
+        containing both group leaders (typically the world communicator the
+        groups were split from) and is used only by the leaders, over ``tag``.
+
+        The bridge is one shared rendezvous group spanning both sides, with
+        **fresh mailboxes**: cross-bridge point-to-point traffic is matched
+        only against cross-bridge traffic, so a tag in flight on the parent
+        (or any intra-) communicator can never cross-match a message sent
+        over the bridge.  Clocks are shared by reference with the local
+        communicators, so intercomm collectives synchronise the two sides'
+        real timelines.
+        """
+        self._check_rank(local_leader)
+        if tag < 0:
+            raise TagError(f"invalid intercomm tag {tag}")
+        g = self._group
+        if self._rank == local_leader:
+            if peer_comm is None:
+                raise CommunicatorError(
+                    "the local leader must supply the peer communicator"
+                )
+            my_peer = peer_comm.rank
+            peer_comm._check_rank(remote_leader)
+            if remote_leader == my_peer:
+                raise CommunicatorError(
+                    "local and remote leaders must be distinct processes"
+                )
+            peer_comm.send((my_peer, g), remote_leader, tag)
+            other_peer, other_group = peer_comm.recv(source=remote_leader, tag=tag)
+            # The leader with the lower peer rank builds the shared bridge
+            # group (its side occupies union slots [0, size)) and ships it to
+            # the other leader; both register it for the abort cascade.
+            if my_peer < other_peer:
+                union = _CommGroup(
+                    g.size + other_group.size,
+                    clocks=list(g.clocks) + list(other_group.clocks),
+                    cost_model=g.cost_model,
+                    engine=g.engine,
+                )
+                peer_comm.send(union, remote_leader, tag)
+                local_offset = 0
+            else:
+                union = peer_comm.recv(source=remote_leader, tag=tag)
+                local_offset = union.size - g.size
+            g.children.append(union)
+            payload: Optional[Tuple[_CommGroup, int, int]] = (
+                union, local_offset, union.size - g.size
+            )
+        else:
+            payload = None
+        union, local_offset, remote_size = self.bcast(payload, root=local_leader)
+        return Intercomm(union, local_offset, remote_size, self)
+
     def abort(self, exc: BaseException) -> None:
         """Abandon collective communication on this communicator.
 
@@ -594,3 +766,263 @@ class Communicator:
         rank's detached collective dies so its peers do not deadlock.
         """
         self._group.abort(exc)
+
+
+class Intercomm:
+    """One rank's view of an inter-communicator (``MPI_Comm``, inter).
+
+    An intercomm connects two disjoint groups (*local* and *remote*): ranks
+    are always named in the **remote** group's namespace for point-to-point
+    (``send(dest=2)`` reaches remote rank 2) and every collective follows the
+    MPI inter-communicator semantics — ``allgather`` returns the remote
+    group's contributions, ``bcast`` moves data from one group's
+    :data:`ROOT` process to every rank of the other group.
+
+    Implementation: both sides share one rendezvous :class:`_CommGroup`
+    (side A in slots ``[0, nA)``, side B in ``[nA, nA+nB)``) whose per-rank
+    clocks are the ranks' real clocks, shared by reference.  Its mailboxes
+    belong exclusively to the bridge, which is what namespaces message tags
+    per bridge (see :meth:`Communicator.Create_intercomm`).
+    """
+
+    def __init__(
+        self,
+        union: _CommGroup,
+        local_offset: int,
+        remote_size: int,
+        local_comm: Communicator,
+    ) -> None:
+        self._union = union
+        self._local_comm = local_comm
+        self._local_size = local_comm.size
+        self._local_offset = local_offset
+        self._remote_size = remote_size
+        self._remote_offset = self._local_size if local_offset == 0 else 0
+        self._rank = local_comm.rank
+        self._urank = local_offset + self._rank
+        #: Internal facade over the union group; reuses the rendezvous
+        #: machinery (and its abort handling) for the bridge collectives.
+        self._inner = Communicator(union, self._urank)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within its *local* group."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Size of the local group."""
+        return self._local_size
+
+    @property
+    def remote_size(self) -> int:
+        """Size of the remote group."""
+        return self._remote_size
+
+    @property
+    def clock(self) -> VirtualClock:
+        """This rank's virtual clock (shared with its intra-communicators)."""
+        return self._union.clocks[self._urank]
+
+    def Get_rank(self) -> int:  # noqa: N802 - MPI spelling
+        """MPI-style alias for :attr:`rank`."""
+        return self._rank
+
+    def Get_size(self) -> int:  # noqa: N802 - MPI spelling
+        """MPI-style alias for :attr:`size`."""
+        return self._local_size
+
+    def Get_remote_size(self) -> int:  # noqa: N802 - MPI spelling
+        """MPI-style alias for :attr:`remote_size`."""
+        return self._remote_size
+
+    def Get_group(self) -> Group:  # noqa: N802 - MPI spelling
+        """The local group (ranks in local-group order)."""
+        return Group(range(self._local_size))
+
+    def Get_remote_group(self) -> Group:  # noqa: N802 - MPI spelling
+        """The remote group (ranks in remote-group order)."""
+        return Group(range(self._remote_size))
+
+    # -- point-to-point across the bridge --------------------------------------
+
+    def _check_remote_rank(self, rank: int) -> None:
+        if not 0 <= rank < self._remote_size:
+            raise RankError(
+                f"rank {rank} outside remote group of size {self._remote_size}"
+            )
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Eager send to rank ``dest`` of the *remote* group.
+
+        Bridge messages are *causal* in virtual time: the payload carries
+        the sender's post-charge clock and the receiver's clock is advanced
+        to it on delivery, so a handoff between coupled applications can
+        never be observed before it was issued.  (Intra-communicator
+        point-to-point keeps its looser, rendezvous-free accounting.)
+        """
+        self._check_remote_rank(dest)
+        if tag < 0:
+            raise TagError(f"invalid send tag {tag}")
+        sent_at = self.clock.advance(self._union.cost_model.cost(obj))
+        # Sources are recorded in the sender's local-group namespace, which
+        # is unambiguous: a bridge mailbox only ever receives cross-bridge
+        # traffic, so "source r" always means remote rank r to the receiver.
+        self._union.mailboxes[self._remote_offset + dest].put(
+            self._rank, tag, (sent_at, obj)
+        )
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Non-blocking send (completes immediately — sends are eager)."""
+        req = Request()
+        try:
+            self.send(obj, dest, tag)
+        except Exception as exc:  # pragma: no cover - defensive
+            req._fail(exc)
+        else:
+            req._complete(None, Status(source=self._rank, tag=tag))
+        return req
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Any:
+        """Blocking receive of a message from the remote group."""
+        if source != ANY_SOURCE:
+            self._check_remote_rank(source)
+        Communicator._check_tag(tag)
+        task = self._inner._require_task()
+        src, t, wrapped = self._union.mailboxes[self._urank].get(task, source, tag)
+        sent_at, payload = wrapped
+        self.clock.advance_to(sent_at, waiting=True)
+        if status is not None:
+            status.source = src
+            status.tag = t
+            status.count = getattr(payload, "nbytes", 0) or 0
+        return payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive; completes lazily on ``test``/``wait``."""
+        req = Request()
+        mailbox = self._union.mailboxes[self._urank]
+
+        def poll() -> bool:
+            msg = mailbox._find(source, tag)
+            if msg is None:
+                return False
+            src, t, (sent_at, payload) = msg
+            self.clock.advance_to(sent_at, waiting=True)
+            req._complete(
+                payload,
+                Status(source=src, tag=t, count=getattr(payload, "nbytes", 0) or 0),
+            )
+            return True
+
+        def finish() -> None:
+            try:
+                status = Status()
+                value = self.recv(source, tag, status=status)
+            except Exception as exc:
+                req._fail(exc)
+            else:
+                req._complete(value, status)
+
+        req._bind(poll, finish)
+        return req
+
+    # -- collectives across the bridge -----------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every rank of *both* groups arrives; syncs clocks."""
+        self._inner._collective("icomm-barrier")
+
+    def bcast(self, obj: Any, root: int) -> Any:
+        """Broadcast from one group's root to every rank of the other group.
+
+        MPI inter-communicator semantics: in the origin group, the root
+        passes ``root=ROOT`` (and its ``obj``), its peers pass
+        ``root=PROC_NULL``; every rank of the receiving group names the
+        origin's rank *in its remote group*.  Returns the broadcast object
+        (the origin's own ``obj`` on the root, ``None`` on PROC_NULL ranks).
+        """
+        if root == ROOT:
+            deposit: Any = (_IROOT, obj)
+            payload = obj
+        else:
+            if root != PROC_NULL:
+                self._check_remote_rank(root)
+            deposit = None
+            payload = None
+        round_ = self._inner._collective("icomm-bcast", deposit=deposit, payload=payload)
+        marked = [
+            i
+            for i, slot in enumerate(round_.slots)
+            if type(slot) is tuple and len(slot) == 2 and slot[0] is _IROOT
+        ]
+        if len(marked) != 1:
+            raise CollectiveMismatchError(
+                f"intercomm bcast requires exactly one ROOT process, "
+                f"found {len(marked)}"
+            )
+        origin = marked[0]
+        if root == ROOT:
+            return obj
+        if root == PROC_NULL:
+            return None
+        if origin != self._remote_offset + root:
+            raise CollectiveMismatchError(
+                f"intercomm bcast roots disagree: this rank named remote "
+                f"rank {root}, but the ROOT process sits at remote rank "
+                f"{origin - self._remote_offset}"
+            )
+        return round_.slots[origin][1]
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one object per rank, delivered **from the remote group**.
+
+        MPI inter-communicator semantics: every rank contributes, and each
+        rank receives the remote group's contributions in remote-rank order.
+        """
+        round_ = self._inner._collective("icomm-allgather", deposit=obj, payload=obj)
+        lo = self._remote_offset
+        return list(round_.slots[lo : lo + self._remote_size])
+
+    def Merge(self, high: bool = False) -> Communicator:  # noqa: N802 - MPI spelling
+        """Merge both groups into one intra-communicator
+        (``MPI_Intercomm_merge``).
+
+        Ranks passing ``high=False`` come first in the merged rank order
+        (ties broken by bridge slot, i.e. the intercomm-construction side
+        order); within a group the local order is kept.  The merged
+        communicator gets **fresh mailboxes** — its point-to-point namespace
+        is as isolated from the bridge's as the bridge's is from the
+        parents'.
+        """
+        round_ = self._inner._collective(
+            "icomm-merge", deposit=(bool(high), self._urank)
+        )
+        if round_.shared is None:
+            # First rank back from the rendezvous builds the merged group
+            # for everyone (ranks run one at a time, so this is race-free).
+            order = sorted(
+                range(self._union.size), key=lambda u: (round_.slots[u][0], u)
+            )
+            group = _CommGroup(
+                self._union.size,
+                clocks=[self._union.clocks[u] for u in order],
+                cost_model=self._union.cost_model,
+                engine=self._union.engine,
+            )
+            self._union.children.append(group)
+            round_.shared = [group, {u: r for r, u in enumerate(order)}]
+        group, new_ranks = round_.shared
+        return Communicator(group, new_ranks[self._urank])
+
+    def abort(self, exc: BaseException) -> None:
+        """Abandon collective communication on the bridge (see
+        :meth:`Communicator.abort`)."""
+        self._union.abort(exc)

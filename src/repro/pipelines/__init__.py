@@ -1,0 +1,31 @@
+"""Coupled-application streaming pipelines over MPI inter-communicators.
+
+Two (or three) live applications — a *producer* group writing checkpoints,
+an optional *transformer* group, and a *consumer* group performing in-situ
+analysis — run concurrently on one shared engine and file system, wired
+together with :class:`~repro.mpi.comm.Intercomm` bridges built by
+:class:`CoupledPipeline` from a declarative :class:`PipelineSpec`.
+Producers stream per-step checkpoint files through the nonblocking write
+API while consumers read the same bytes through the nonblocking read API;
+every delivered byte stream is verified against the cross-group
+serialisability checker (:func:`repro.verify.atomicity.check_stream_atomicity`).
+"""
+
+from .spec import COORDINATIONS, ROLES, PipelineSpec, StageSpec
+from .runner import (
+    CoupledPipeline,
+    PipelineResult,
+    expected_consumer_streams,
+    step_payload,
+)
+
+__all__ = [
+    "COORDINATIONS",
+    "ROLES",
+    "StageSpec",
+    "PipelineSpec",
+    "CoupledPipeline",
+    "PipelineResult",
+    "expected_consumer_streams",
+    "step_payload",
+]

@@ -1,0 +1,162 @@
+"""Declarative pipeline topology: stage groups and coupling discipline.
+
+A coupled pipeline is an ordered list of rank groups — one *producer*
+stage, an optional *transformer* stage, one *consumer* stage — plus the
+workload geometry (the M x N array the producers checkpoint, partitioned
+column-wise over each group independently, which is what makes the file an
+N:M redistribution fabric) and the coupling discipline:
+
+``barrier``
+    Write-barrier-read: consumers start reading a step only after the
+    producers' write completed, and producers start the next step only
+    after the consumers finished — the non-overlapped baseline the perf
+    gate measures against.
+``overlapped``
+    Simulate-while-checkpoint: producers overlap the commit of step *s*
+    with their own compute via the split-collective / nonblocking write
+    API, hand the step off through the intercomm bridge, and run up to
+    ``overlap_depth`` steps ahead of consumer acknowledgements; consumers
+    overlap their in-situ read with analysis compute via ``Iread_all``.
+``racing``
+    No coupling at all beyond a start-line barrier: both groups hammer the
+    same bytes concurrently.  This is the adversarial configuration the
+    cross-group atomicity verifier exists for — un-torn under ``locking``,
+    detectably torn under a non-atomic strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["ROLES", "COORDINATIONS", "StageSpec", "PipelineSpec"]
+
+#: Stage roles, in the only order a pipeline may compose them.
+ROLES = ("producer", "transformer", "consumer")
+
+#: Coupling disciplines (see the module docstring).
+COORDINATIONS = ("barrier", "overlapped", "racing")
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One rank group of a coupled pipeline."""
+
+    #: ``"producer"``, ``"transformer"`` or ``"consumer"``.
+    role: str
+    #: Number of ranks in this group.
+    nprocs: int
+    #: Display name (defaults to the role).
+    name: str = ""
+    #: Virtual compute charged per step and rank (the simulation /
+    #: transformation / analysis work the I/O can overlap with).
+    compute_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ValueError(f"unknown stage role {self.role!r}; known: {ROLES}")
+        if self.nprocs <= 0:
+            raise ValueError(f"stage {self.role!r} needs a positive rank count")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+        if not self.name:
+            object.__setattr__(self, "name", self.role)
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A full coupled-pipeline scenario."""
+
+    #: Stage groups in pipeline order: producer [, transformer], consumer.
+    stages: Tuple[StageSpec, ...]
+    #: Checkpoint array geometry (M x N bytes, column-wise partitioned).
+    M: int = 32
+    N: int = 512
+    #: Number of checkpoint/analysis steps (each step is its own file).
+    steps: int = 2
+    #: Atomicity strategy name for both groups' file handles.
+    strategy: str = "locking"
+    #: MPI atomic mode on both groups' handles.
+    atomic: bool = True
+    #: Coupling discipline; see :data:`COORDINATIONS`.
+    coordination: str = "barrier"
+    #: How many steps producers may run ahead of consumer acknowledgements
+    #: (``overlapped`` mode only).
+    overlap_depth: int = 1
+    #: Base name; step ``s`` goes to ``{filename}.s{s}.dat``.
+    filename: str = "/pipeline/ckpt"
+    #: Ghost-column overlap between adjacent producer views (paper's R).
+    ghost: int = 0
+
+    def __post_init__(self) -> None:
+        roles = [s.role for s in self.stages]
+        expected = (
+            ["producer", "consumer"]
+            if len(roles) == 2
+            else ["producer", "transformer", "consumer"]
+        )
+        if roles != expected:
+            raise ValueError(
+                f"stages must be producer [, transformer], consumer; got {roles}"
+            )
+        if self.coordination not in COORDINATIONS:
+            raise ValueError(
+                f"unknown coordination {self.coordination!r}; known: {COORDINATIONS}"
+            )
+        if self.coordination == "racing" and len(self.stages) != 2:
+            raise ValueError("racing mode couples exactly producer + consumer")
+        if self.steps <= 0:
+            raise ValueError("steps must be positive")
+        if self.overlap_depth <= 0:
+            raise ValueError("overlap_depth must be positive")
+        if self.M <= 0 or self.N <= 0:
+            raise ValueError("M and N must be positive")
+        if self.ghost < 0:
+            raise ValueError("ghost must be non-negative")
+
+    # -- derived layout: producers first in world-rank order -------------------
+
+    @property
+    def total_ranks(self) -> int:
+        """World size of the coupled run."""
+        return sum(s.nprocs for s in self.stages)
+
+    @property
+    def stage_offsets(self) -> Tuple[int, ...]:
+        """World rank of each stage's local rank 0 (producers start at 0).
+
+        The offset doubles as the stage's ``provenance_base``: global
+        client/provenance ids equal world ranks, which is the keyspace the
+        cross-group verifier sees.
+        """
+        offsets = []
+        base = 0
+        for stage in self.stages:
+            offsets.append(base)
+            base += stage.nprocs
+        return tuple(offsets)
+
+    @property
+    def producer(self) -> StageSpec:
+        return self.stages[0]
+
+    @property
+    def consumer(self) -> StageSpec:
+        return self.stages[-1]
+
+    @property
+    def transformer(self) -> StageSpec | None:
+        return self.stages[1] if len(self.stages) == 3 else None
+
+    def stage_of(self, world_rank: int) -> int:
+        """Index of the stage owning ``world_rank``."""
+        if not 0 <= world_rank < self.total_ranks:
+            raise ValueError(f"world rank {world_rank} outside 0..{self.total_ranks - 1}")
+        for idx in reversed(range(len(self.stages))):
+            if world_rank >= self.stage_offsets[idx]:
+                return idx
+        raise AssertionError("unreachable")
+
+    def step_filename(self, step: int) -> str:
+        """The checkpoint file of step ``step``."""
+        return f"{self.filename}.s{step}.dat"

@@ -3,19 +3,25 @@
 from .atomicity import (
     AtomicityReport,
     ReadObservation,
+    StreamTrace,
     Violation,
     check_coverage,
     check_mpi_atomicity,
     check_posix_call_atomicity,
     check_read_atomicity,
+    check_stream_atomicity,
+    rekey_regions,
 )
 
 __all__ = [
     "AtomicityReport",
     "ReadObservation",
+    "StreamTrace",
     "Violation",
     "check_mpi_atomicity",
     "check_posix_call_atomicity",
     "check_coverage",
     "check_read_atomicity",
+    "check_stream_atomicity",
+    "rekey_regions",
 ]

@@ -47,10 +47,13 @@ __all__ = [
     "Violation",
     "AtomicityReport",
     "ReadObservation",
+    "StreamTrace",
     "check_mpi_atomicity",
     "check_posix_call_atomicity",
     "check_coverage",
     "check_read_atomicity",
+    "check_stream_atomicity",
+    "rekey_regions",
 ]
 
 
@@ -422,6 +425,84 @@ def check_read_atomicity(
                     )
                 )
     return report
+
+
+def rekey_regions(regions: Sequence[FileRegionSet], base: int) -> List[FileRegionSet]:
+    """Rebase region ranks into a global keyspace: rank ``r`` becomes
+    ``base + r``.
+
+    Coupled pipeline groups and multi-tenant jobs each number their ranks
+    from zero; before their views meet in one cross-group verification the
+    ranks must be disjoint, using the same per-group base their I/O carried
+    as provenance (the ``provenance_base`` Info hint /
+    ``FSClient.provenance_base``).
+    """
+    return [FileRegionSet(base + region.rank, region.segments) for region in regions]
+
+
+@dataclass(frozen=True)
+class StreamTrace:
+    """One cross-group data stream: concurrent writers plus the readers
+    racing them on a single file.
+
+    All ranks — in ``write_regions``, ``committed`` and the observations'
+    ``rank`` fields — must already live in one *global* keyspace (see
+    :func:`rekey_regions`): a producer group and a consumer group each
+    number their ranks from zero, so their traces must be rebased with the
+    same ``provenance_base`` their file clients carried before they can
+    meet in one trace.
+    """
+
+    #: Which stream this trace belongs to (e.g. ``"step3:/ckpt.s3.dat"``);
+    #: prefixed to every violation so a multi-stream report stays readable.
+    stream_id: str
+    #: The concurrent writers' (untrimmed) globally-rekeyed file views.
+    write_regions: Sequence[FileRegionSet]
+    #: ``writer_data[i]`` is the stream ``write_regions[i]`` wrote.
+    writer_data: Sequence[bytes]
+    #: What the racing readers returned.
+    observations: Sequence[ReadObservation]
+    #: Global writer ids whose writes completed before the reads began
+    #: (stale-read detection); ``None`` treats every write as in flight.
+    committed: Optional[Collection[int]] = None
+    #: Pre-write file snapshot (defaults to zeros, a fresh file).
+    baseline: Optional[bytes] = None
+
+
+def check_stream_atomicity(streams: Sequence[StreamTrace]) -> AtomicityReport:
+    """Verify read atomicity across cross-group / cross-job streams.
+
+    Each :class:`StreamTrace` is an independent serialisability question —
+    one file (or one per-step checkpoint) with its own writer set, reader
+    set and commit front — so each goes through
+    :func:`check_read_atomicity` on its own; the verdicts are merged into
+    one report whose violations carry the originating stream's id.  This is
+    the entry point the coupled-pipeline runner and the multi-tenant
+    scheduler share: both reduce "did any consumer ever see a torn or stale
+    byte?" to a list of globally-rekeyed stream traces.
+    """
+    merged = AtomicityReport(ok=True)
+    for stream in streams:
+        report = check_read_atomicity(
+            stream.observations,
+            stream.write_regions,
+            stream.writer_data,
+            baseline=stream.baseline,
+            committed=stream.committed,
+        )
+        merged.overlap_regions_checked += report.overlap_regions_checked
+        merged.overlapped_bytes += report.overlapped_bytes
+        if not report.ok:
+            merged.ok = False
+            merged.violations.extend(
+                Violation(
+                    kind=v.kind,
+                    interval=v.interval,
+                    detail=f"[stream {stream.stream_id}] {v.detail}",
+                )
+                for v in report.violations
+            )
+    return merged
 
 
 def check_coverage(store: ByteStore, regions: Sequence[FileRegionSet]) -> AtomicityReport:

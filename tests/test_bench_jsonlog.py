@@ -58,6 +58,20 @@ class TestCoerce:
         with pytest.raises(KeyError):
             _coerce({"strategy": "two-phase", "makespan": 0.5, "bytes": 1})
 
+    def test_pipeline_fields_coerce_types(self):
+        entry = dict(MINIMAL, stage="producer", stream_id=7)
+        out = _coerce(entry)
+        assert out["stage"] == "producer"
+        assert out["stream_id"] == "7"
+
+    def test_pre_pipeline_records_stay_free_of_pipeline_fields(self):
+        # Back-compat: entries written before the pipeline subsystem existed
+        # carry neither field, and coercion must not invent them.
+        out = _coerce(dict(MINIMAL))
+        assert "stage" not in out and "stream_id" not in out
+        out = _coerce(dict(MINIMAL, stage=None, stream_id=None))
+        assert "stage" not in out and "stream_id" not in out
+
 
 class TestRoundTrip:
     def test_old_file_gains_new_experiment_without_breaking(self, tmp_path):
@@ -98,3 +112,32 @@ class TestRoundTrip:
         record_results("multitenant/x", entries, path=path)
         loaded = load_results(path)["experiments"]["multitenant/x"]
         assert loaded == [_coerce(e) for e in entries]
+
+    def test_pipeline_entries_round_trip_alongside_old_records(self, tmp_path):
+        path = tmp_path / "latest.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "experiments": {"perfgate/two-phase-write": [dict(MINIMAL)]},
+                }
+            ),
+            encoding="utf-8",
+        )
+        record_results(
+            "pipeline/gpfs/p4c4d2",
+            [
+                dict(MINIMAL, strategy="two-phase+overlapped", wall_seconds=0.1, ops=32),
+                dict(MINIMAL, strategy="two-phase+overlapped", stage="consumer"),
+                dict(MINIMAL, strategy="two-phase+overlapped",
+                     stream_id="step0:/pipeline/ckpt.s0.dat"),
+            ],
+            path=path,
+        )
+        doc = load_results(path)
+        old = doc["experiments"]["perfgate/two-phase-write"][0]
+        assert "stage" not in old and "stream_id" not in old
+        summary, per_stage, per_stream = doc["experiments"]["pipeline/gpfs/p4c4d2"]
+        assert "stage" not in summary
+        assert per_stage["stage"] == "consumer"
+        assert per_stream["stream_id"] == "step0:/pipeline/ckpt.s0.dat"

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.bench.doccheck import check_document, main
+from repro.bench.doccheck import check_document, check_required_section, main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -49,6 +49,40 @@ class TestCheckDocument:
         assert problems and "does not exist" in problems[0][1]
 
 
+class TestRequiredSections:
+    def test_heading_found_case_insensitive_substring(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Title\n\n## Coupled-pipeline streaming sweep\n\nbody\n",
+            encoding="utf-8",
+        )
+        assert check_required_section("doc.md#coupled-pipeline", root=tmp_path) == []
+        assert check_required_section("doc.md#Streaming Sweep", root=tmp_path) == []
+
+    def test_missing_heading_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Title\n\nCoupled-pipeline prose, not a heading.\n",
+                       encoding="utf-8")
+        problems = check_required_section("doc.md#Coupled-pipeline", root=tmp_path)
+        assert problems and "no heading" in problems[0]
+
+    def test_missing_file_and_malformed_requirement(self, tmp_path):
+        assert any(
+            "does not exist" in p
+            for p in check_required_section("absent.md#X", root=tmp_path)
+        )
+        assert any(
+            "malformed" in p
+            for p in check_required_section("no-heading-part.md", root=tmp_path)
+        )
+
+    def test_repo_experiments_sections_present(self):
+        # The sections CI requires must actually exist in this repo's docs.
+        for requirement in ("EXPERIMENTS.md#Coupled-pipeline",
+                            "EXPERIMENTS.md#Multi-tenant"):
+            assert check_required_section(requirement, root=REPO_ROOT) == []
+
+
 class TestCli:
     def test_exit_codes(self, tmp_path, monkeypatch, capsys):
         good = tmp_path / "good.md"
@@ -60,3 +94,14 @@ class TestCli:
         assert main([str(bad)]) == 1
         out = capsys.readouterr().out
         assert "missing/thing.py" in out
+
+    def test_require_flag(self, tmp_path, monkeypatch, capsys):
+        doc = tmp_path / "doc.md"
+        doc.write_text("## Known Section\n", encoding="utf-8")
+        monkeypatch.chdir(tmp_path)
+        assert main(["--require", "doc.md#Known Section"]) == 0
+        assert main(["--require=doc.md#Known Section"]) == 0
+        assert main(["--require", "doc.md#Absent Section"]) == 1
+        assert main(["--require"]) == 1
+        out = capsys.readouterr().out
+        assert "no heading" in out
